@@ -1,0 +1,134 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (one experiment per figure; see DESIGN.md for the index), then
+   runs Bechamel microbenchmarks of the optimizer passes themselves.
+
+   Usage:
+     dune exec bench/main.exe                 # full reproduction (~minutes)
+     dune exec bench/main.exe -- --quick      # reduced transaction counts
+     dune exec bench/main.exe -- --only fig4,fig15
+     dune exec bench/main.exe -- --no-micro   # skip pass microbenchmarks *)
+
+module Context = Olayout_harness.Context
+module Report = Olayout_harness.Report
+module Spike = Olayout_core.Spike
+module Placement = Olayout_core.Placement
+module Chaining = Olayout_core.Chaining
+module Splitting = Olayout_core.Splitting
+module Pettis_hansen = Olayout_core.Pettis_hansen
+
+let parse_args () =
+  let quick = ref false and only = ref None and micro = ref true in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--no-micro" :: rest ->
+        micro := false;
+        go rest
+    | "--only" :: ids :: rest ->
+        only := Some (String.split_on_char ',' ids);
+        go rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!quick, !only, !micro)
+
+(* --- Bechamel microbenchmarks of the layout passes --- *)
+
+let microbench ctx =
+  let open Bechamel in
+  let profile = Context.app_profile ctx in
+  let prog = Olayout_profile.Profile.prog profile in
+  let chained = lazy (Splitting.fine_grain profile) in
+  (* A canned trace slice for simulator-throughput measurement. *)
+  let runs =
+    lazy
+      (let placement = Placement.original prog in
+       let acc = ref [] and n = ref 0 in
+       let m =
+         Olayout_exec.Render.merger ~emit:(fun r ->
+             if !n < 50_000 then begin
+               incr n;
+               acc := r :: !acc
+             end)
+       in
+       let walk = Olayout_exec.Walk.create ~prog ~rng:(Olayout_util.Rng.create 123) in
+       Olayout_exec.Walk.add_sink walk
+         (Olayout_exec.Render.sink
+            (Olayout_exec.Render.create ~placement ~owner:Olayout_exec.Run.App m));
+       while !n < 50_000 do
+         for p = 0 to Olayout_ir.Prog.n_procs prog - 1 do
+           Olayout_exec.Walk.call walk p
+         done
+       done;
+       Array.of_list !acc)
+  in
+  let sim_cache =
+    lazy
+      (Olayout_cachesim.Icache.create
+         (Olayout_cachesim.Icache.config ~size_kb:64 ~line:128 ~assoc:2 ()))
+  in
+  let tests =
+    Test.make_grouped ~name:"layout passes"
+      [
+        Test.make ~name:"chaining (whole binary)"
+          (Staged.stage (fun () -> ignore (Chaining.segments_one_per_proc profile)));
+        Test.make ~name:"fine-grain splitting"
+          (Staged.stage (fun () -> ignore (Splitting.fine_grain profile)));
+        Test.make ~name:"hot/cold splitting"
+          (Staged.stage (fun () -> ignore (Splitting.hot_cold profile)));
+        Test.make ~name:"pettis-hansen ordering"
+          (Staged.stage (fun () ->
+               ignore (Pettis_hansen.order profile (Lazy.force chained))));
+        Test.make ~name:"placement (address assignment)"
+          (Staged.stage (fun () ->
+               ignore (Placement.of_segments ~align:4 prog (Lazy.force chained))));
+        Test.make ~name:"full pipeline (all)"
+          (Staged.stage (fun () -> ignore (Spike.optimize profile Spike.All)));
+        Test.make ~name:"icache sim (50k-run trace slice)"
+          (Staged.stage (fun () ->
+               let cache = Lazy.force sim_cache in
+               Array.iter
+                 (fun r -> Olayout_cachesim.Icache.access_run cache r)
+                 (Lazy.force runs)));
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 2.0) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  Format.printf "@.### microbenchmarks - optimizer pass cost on the OLTP binary@.";
+  Format.printf "%-50s %14s@." "pass" "ns/run";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-50s %14.0f@." name est
+      | Some _ | None -> Format.printf "%-50s %14s@." name "-")
+    results
+
+let () =
+  let quick, only, micro = parse_args () in
+  let t0 = Unix.gettimeofday () in
+  let scale = if quick then Context.Quick else Context.Full in
+  Format.printf
+    "olayout bench: reproducing Ramirez et al., ISCA 2001 (%s scale)@."
+    (if quick then "quick" else "full");
+  let ctx = Context.create ~scale () in
+  Format.printf "workload built and profiled in %.1fs@." (Unix.gettimeofday () -. t0);
+  let selection =
+    match only with None -> Report.All | Some ids -> Report.Only ids
+  in
+  Report.run ~selection ctx Format.std_formatter;
+  if micro then microbench ctx;
+  Format.printf "@.bench total: %.1fs@." (Unix.gettimeofday () -. t0)

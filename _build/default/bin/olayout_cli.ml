@@ -1,0 +1,346 @@
+(* olayout: command-line front end for the code-layout reproduction.
+
+   Subcommands:
+     inspect   - build the synthetic binaries and show their structure
+     optimize  - run the profiling phase and compare layout combinations
+     simulate  - run the OLTP workload through a custom instruction cache
+     report    - regenerate the paper's figures (same engine as bench/) *)
+
+open Cmdliner
+module Context = Olayout_harness.Context
+module Report = Olayout_harness.Report
+module Table = Olayout_harness.Table
+module Spike = Olayout_core.Spike
+module Placement = Olayout_core.Placement
+module Workload = Olayout_oltp.Workload
+module Profile = Olayout_profile.Profile
+module Binary = Olayout_codegen.Binary
+module Icache = Olayout_cachesim.Icache
+module Run = Olayout_exec.Run
+module Prog = Olayout_ir.Prog
+module Proc = Olayout_ir.Proc
+module Block = Olayout_ir.Block
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload/binary seed.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced transaction counts (fast, noisier).")
+
+let combo_conv =
+  let parse s =
+    match
+      List.find_opt (fun c -> Spike.combo_name c = s) Spike.all_combos
+    with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown combo %S (expected: %s)" s
+               (String.concat ", " (List.map Spike.combo_name Spike.all_combos))))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Spike.combo_name c))
+
+let combo_arg_value =
+  Arg.(
+    value & opt combo_conv Spike.All
+    & info [ "combo" ] ~docv:"COMBO" ~doc:"Layout combination to inspect.")
+
+
+(* --- inspect --- *)
+
+let inspect seed =
+  let w = Workload.create ~seed () in
+  let app = Binary.prog (Workload.app w) and kernel = Binary.prog (Workload.kernel w) in
+  Format.printf "%a@.%a@." Prog.pp_summary app Prog.pp_summary kernel;
+  let profile, _ = Workload.train w ~txns:300 () in
+  Format.printf "@.top 15 procedures by dynamic instructions (300-txn profile):@.";
+  let per_proc =
+    Array.map
+      (fun (p : Proc.t) ->
+        let d = ref 0 in
+        Array.iter
+          (fun (b : Block.t) ->
+            d :=
+              !d
+              + Profile.block_count profile ~proc:p.Proc.id ~block:b.Block.id
+                * Block.source_instrs b)
+          p.Proc.blocks;
+        (p.Proc.name, !d))
+      app.Prog.procs
+  in
+  Array.sort (fun (_, a) (_, b) -> compare b a) per_proc;
+  let total = float_of_int (Profile.dynamic_instrs profile) in
+  Array.iteri
+    (fun i (name, d) ->
+      if i < 15 then
+        Format.printf "  %-24s %6.2f%%@." name (100.0 *. float_of_int d /. total))
+    per_proc;
+  0
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show the synthetic OLTP and kernel binaries.")
+    Term.(const inspect $ seed_arg)
+
+(* --- profile: train and save --- *)
+
+let profile_cmd_run seed quick out =
+  let txns = if quick then 200 else 2000 in
+  let w = Workload.create ~seed () in
+  let profile, _ = Workload.train w ~txns () in
+  Profile.save_file out profile;
+  Format.printf "wrote %s (%d block events, %s dynamic instructions)@." out
+    (Profile.total_block_events profile)
+    (Table.fmt_int (Profile.dynamic_instrs profile));
+  0
+
+let profile_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "oltp.profile"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to save the profile.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Run the training phase and save the profile to a file.")
+    Term.(const profile_cmd_run $ seed_arg $ quick_arg $ out_arg)
+
+(* Load a saved profile or train a fresh one. *)
+let obtain_profile w ~quick = function
+  | Some path -> Profile.load_file (Binary.prog (Workload.app w)) path
+  | None ->
+      let txns = if quick then 200 else 2000 in
+      fst (Workload.train w ~txns ())
+
+let profile_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-file" ] ~docv:"FILE" ~doc:"Reuse a profile saved by $(b,profile).")
+
+(* --- disasm --- *)
+
+let disasm seed quick profile_file combo procs summary =
+  let w = Workload.create ~seed () in
+  let profile = obtain_profile w ~quick profile_file in
+  let placement = Spike.optimize profile combo in
+  if summary then Format.printf "%a@." Olayout_core.Listing.pp_summary placement;
+  List.iter
+    (fun name ->
+      match Prog.find_proc (Binary.prog (Workload.app w)) name with
+      | Some p ->
+          Olayout_core.Listing.pp_proc ~profile Format.std_formatter placement
+            ~proc:p.Proc.id;
+          Format.print_newline ()
+      | None -> Format.printf "no such procedure: %s@." name)
+    procs;
+  0
+
+let disasm_cmd =
+  let procs_arg =
+    Arg.(
+      value & opt (list string) [ "op_buf_hit@0" ]
+      & info [ "procs" ] ~docv:"NAMES" ~doc:"Procedures to list.")
+  in
+  let summary_arg =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Print the segment map first.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"List placed code with addresses and branch targets.")
+    Term.(
+      const disasm $ seed_arg $ quick_arg $ profile_file_arg $ combo_arg_value $ procs_arg
+      $ summary_arg)
+
+(* --- optimize --- *)
+
+let optimize seed quick profile_file =
+  let w = Workload.create ~seed () in
+  let profile = obtain_profile w ~quick profile_file in
+  let tbl =
+    Table.create ~title:"layout combinations"
+      ~columns:[ "combo"; "text KB"; "instrs"; "vs base instrs"; "far branches" ]
+  in
+  let base_instrs =
+    Placement.program_instrs (Spike.optimize profile Spike.Base)
+  in
+  List.iter
+    (fun combo ->
+      let pl = Spike.optimize profile combo in
+      Table.add_row tbl
+        [
+          Spike.combo_name combo;
+          string_of_int (Placement.text_bytes pl / 1024);
+          Table.fmt_int (Placement.program_instrs pl);
+          Printf.sprintf "%+d" (Placement.program_instrs pl - base_instrs);
+          string_of_int (Placement.long_branches pl ());
+        ])
+    Spike.all_combos;
+  Format.printf "%a@." Table.print tbl;
+  0
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Profile the workload and compare layout combinations.")
+    Term.(const optimize $ seed_arg $ quick_arg $ profile_file_arg)
+
+(* --- simulate --- *)
+
+let simulate seed quick size_kb line assoc combos app_only =
+  let txns = if quick then 150 else 1000 in
+  let w = Workload.create ~seed () in
+  let profile, _ = Workload.train w ~txns:(if quick then 200 else 2000) () in
+  let kernel_base = Workload.base_kernel w in
+  let caches =
+    List.map
+      (fun combo -> (combo, Icache.create (Icache.config ~size_kb ~line ~assoc ())))
+      combos
+  in
+  let renders =
+    List.map
+      (fun (combo, cache) ->
+        {
+          Olayout_oltp.Server.app_placement = Spike.optimize profile combo;
+          kernel_placement = kernel_base;
+          emit =
+            (fun run ->
+              if (not app_only) || run.Run.owner = Run.App then
+                Icache.access_run cache run);
+        })
+      caches
+  in
+  let r =
+    Olayout_oltp.Server.run ~app:(Workload.app w) ~kernel:(Workload.kernel w) ~txns
+      ~seed:(seed + 1000) ~renders ()
+  in
+  Format.printf "%d transactions, %s instructions (%s stream)@." r.committed
+    (Table.fmt_int (r.app_instrs + r.kernel_instrs))
+    (if app_only then "application" else "combined");
+  let tbl =
+    Table.create
+      ~title:(Printf.sprintf "i-cache %dKB / %dB line / %d-way" size_kb line assoc)
+      ~columns:[ "combo"; "misses"; "miss per 1k instrs"; "vs base" ]
+  in
+  let base_misses =
+    match caches with (_, c) :: _ -> Icache.misses c | [] -> 0
+  in
+  List.iter
+    (fun (combo, cache) ->
+      let m = Icache.misses cache in
+      Table.add_row tbl
+        [
+          Spike.combo_name combo;
+          Table.fmt_int m;
+          Printf.sprintf "%.2f" (1000.0 *. float_of_int m /. float_of_int r.app_instrs);
+          (if base_misses = 0 then "-"
+           else Table.fmt_pct (float_of_int m /. float_of_int base_misses));
+        ])
+    caches;
+  Format.printf "%a@." Table.print tbl;
+  0
+
+let simulate_cmd =
+  let size_arg =
+    Arg.(value & opt int 64 & info [ "size-kb" ] ~docv:"KB" ~doc:"Cache size in KB.")
+  in
+  let line_arg =
+    Arg.(value & opt int 128 & info [ "line" ] ~docv:"BYTES" ~doc:"Line size in bytes.")
+  in
+  let assoc_arg =
+    Arg.(value & opt int 1 & info [ "assoc" ] ~docv:"WAYS" ~doc:"Associativity.")
+  in
+  let combos_arg =
+    Arg.(
+      value
+      & opt (list combo_conv) [ Spike.Base; Spike.All ]
+      & info [ "combos" ] ~docv:"COMBOS" ~doc:"Comma-separated layout combinations.")
+  in
+  let app_only_arg =
+    Arg.(value & flag & info [ "app-only" ] ~doc:"Filter out the kernel stream.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the OLTP workload through an instruction cache.")
+    Term.(
+      const simulate $ seed_arg $ quick_arg $ size_arg $ line_arg $ assoc_arg $ combos_arg
+      $ app_only_arg)
+
+(* --- trace: dump an address trace (SimOS-style) --- *)
+
+let trace seed quick profile_file combo out max_runs =
+  let w = Workload.create ~seed () in
+  let profile = obtain_profile w ~quick profile_file in
+  let placement = Spike.optimize profile combo in
+  let kernel = Workload.base_kernel w in
+  let oc = open_out out in
+  let written = ref 0 in
+  Printf.fprintf oc "# olayout trace: %s layout; columns: owner addr(hex) instrs\n"
+    (Spike.combo_name combo);
+  let r =
+    Olayout_oltp.Server.run ~app:(Workload.app w) ~kernel:(Workload.kernel w)
+      ~txns:(if quick then 50 else 300) ~seed:(seed + 2000)
+      ~renders:
+        [
+          {
+            Olayout_oltp.Server.app_placement = placement;
+            kernel_placement = kernel;
+            emit =
+              (fun run ->
+                if !written < max_runs then begin
+                  incr written;
+                  Printf.fprintf oc "%c %x %d\n"
+                    (match run.Run.owner with Run.App -> 'A' | Run.Kernel -> 'K')
+                    run.Run.addr run.Run.len
+                end);
+          };
+        ]
+      ()
+  in
+  close_out oc;
+  Format.printf "wrote %d fetch runs (of %s instructions executed) to %s@." !written
+    (Table.fmt_int (r.app_instrs + r.kernel_instrs))
+    out;
+  0
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt string "trace.txt" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let max_arg =
+    Arg.(value & opt int 200_000 & info [ "max-runs" ] ~docv:"N" ~doc:"Stop after N fetch runs.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the instruction-fetch trace under a layout.")
+    Term.(
+      const trace $ seed_arg $ quick_arg $ profile_file_arg $ combo_arg_value $ out_arg
+      $ max_arg)
+
+(* --- report --- *)
+
+let report seed quick only =
+  let scale = if quick then Context.Quick else Context.Full in
+  let ctx = Context.create ~scale ~seed () in
+  let selection = match only with [] -> Report.All | ids -> Report.Only ids in
+  Report.run ~selection ctx Format.std_formatter;
+  0
+
+let report_cmd =
+  let only_arg =
+    Arg.(
+      value & opt (list string) []
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:
+            (Printf.sprintf "Experiments to run (default all): %s."
+               (String.concat ", " Report.experiment_ids)))
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's figures.")
+    Term.(const report $ seed_arg $ quick_arg $ only_arg)
+
+let () =
+  let doc = "code layout optimizations for transaction processing workloads" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "olayout" ~doc)
+          [
+            inspect_cmd; profile_cmd; disasm_cmd; optimize_cmd; simulate_cmd; trace_cmd;
+            report_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/dss_queries.mli:

@@ -1,0 +1,1 @@
+examples/oltp_study.ml: Array Format Olayout_cachesim Olayout_core Olayout_db Olayout_exec Olayout_oltp Olayout_profile Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Block Builder Format Olayout_cachesim Olayout_core Olayout_exec Olayout_ir Olayout_profile Olayout_util Prog

@@ -1,0 +1,64 @@
+(* Decision support on the mini engine: real queries, and why layout
+   optimization matters so much less here than for OLTP.
+
+   Builds the DSS query engine (a compact binary: scan loops, predicate
+   evaluation, aggregation, B+tree probes), loads a sales table, runs
+   Q1 (scan + grouped sum), Q2 (index range scan) and Q3 (index nested-loop
+   join), and compares the full layout pipeline at small caches.
+
+   Run with:  dune exec examples/dss_queries.exe *)
+
+module Dss = Olayout_oltp.Dss
+module Spike = Olayout_core.Spike
+module Profile = Olayout_profile.Profile
+module Icache = Olayout_cachesim.Icache
+module Binary = Olayout_codegen.Binary
+
+let () =
+  let dss = Dss.create ~rows:20_000 () in
+  let prog = Binary.prog (Dss.binary dss) in
+  Format.printf "%a@." Olayout_ir.Prog.pp_summary prog;
+
+  (* Train on one pass of the three queries. *)
+  let profile = Profile.create prog in
+  let train =
+    Dss.run_queries dss ~repeat:1 ~seed:1
+      ~app_sinks:[ (fun ~proc ~block ~arm -> Profile.record profile ~proc ~block ~arm) ]
+      ()
+  in
+  Format.printf "training pass: %d rows scanned, %d index probes, %d instructions@."
+    train.Dss.rows_scanned train.Dss.probes train.Dss.app_instrs;
+
+  (* Optimize and evaluate a fresh pass under both layouts. *)
+  let base = Spike.optimize profile Spike.Base in
+  let optimized = Spike.optimize profile Spike.All in
+  let sizes = [ 4; 8; 16; 32 ] in
+  let mk () =
+    List.map (fun kb -> (kb, Icache.create (Icache.config ~size_kb:kb ~line:64 ~assoc:1 ()))) sizes
+  in
+  let cb = mk () and co = mk () in
+  let feed caches run = List.iter (fun (_, c) -> Icache.access_run c run) caches in
+  let eval =
+    Dss.run_queries dss ~repeat:2 ~seed:9
+      ~renders:[ (base, feed cb); (optimized, feed co) ]
+      ()
+  in
+  (* Show the Q1 aggregation so the queries are demonstrably real. *)
+  Format.printf "@.Q1 grouped sums (region, total over runs):@.";
+  List.iter
+    (fun (region, total) -> Format.printf "  region %d: %Ld@." region total)
+    eval.Dss.q1_groups;
+
+  Format.printf "@.i-cache misses (64B lines, direct-mapped):@.";
+  Format.printf "  %-6s %10s %10s %8s@." "cache" "base" "optimized" "ratio";
+  List.iter2
+    (fun (kb, b) (_, o) ->
+      Format.printf "  %-6s %10d %10d %7.0f%%@."
+        (string_of_int kb ^ "KB")
+        (Icache.misses b) (Icache.misses o)
+        (100.0 *. float_of_int (Icache.misses o) /. float_of_int (max 1 (Icache.misses b))))
+    cb co;
+  Format.printf
+    "@.the engine's hot code is a handful of scan loops (~10 KB): once cached,@.";
+  Format.printf
+    "layout is irrelevant — the paper's OLTP/DSS contrast in one table.@."

@@ -1,0 +1,80 @@
+(* The paper's headline experiment, end to end: profile the TPC-B workload
+   on the mini database engine, optimize the application binary's layout,
+   and measure the instruction cache and sequence-length improvements on a
+   separate evaluation run.
+
+   Run with:  dune exec examples/oltp_study.exe            (~1 minute)
+              dune exec examples/oltp_study.exe -- quick   (seconds) *)
+
+module Workload = Olayout_oltp.Workload
+module Server = Olayout_oltp.Server
+module Spike = Olayout_core.Spike
+module Profile = Olayout_profile.Profile
+module Icache = Olayout_cachesim.Icache
+module Seqstat = Olayout_exec.Seqstat
+module Run = Olayout_exec.Run
+module Tpcb = Olayout_db.Tpcb
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let train_txns = if quick then 200 else 2000 in
+  let eval_txns = if quick then 150 else 1000 in
+
+  (* Build the synthetic Oracle-like binary and the kernel; run the
+     Pixie-style training phase. *)
+  let w = Workload.create () in
+  Format.printf "training on %d transactions...@." train_txns;
+  let profile, _kernel_profile = Workload.train w ~txns:train_txns ~seed:1 () in
+  Format.printf "dynamic instructions in training run: %d@."
+    (Profile.dynamic_instrs profile);
+
+  (* Optimize: the paper's full pipeline. *)
+  let base = Spike.optimize profile Spike.Base in
+  let optimized = Spike.optimize profile Spike.All in
+  let kernel = Workload.base_kernel w in
+
+  (* Evaluate on a separate run (different seed), replaying the identical
+     execution under both layouts at the paper's 64 KB and 128 KB caches. *)
+  let mk size_kb = Icache.create (Icache.config ~size_kb ~line:128 ~assoc:1 ()) in
+  let base_64 = mk 64 and base_128 = mk 128 and opt_64 = mk 64 and opt_128 = mk 128 in
+  let seq_base = Seqstat.create () and seq_opt = Seqstat.create () in
+  let feed c64 c128 seq run =
+    if run.Run.owner = Run.App then begin
+      Icache.access_run c64 run;
+      Icache.access_run c128 run;
+      Seqstat.observe seq run
+    end
+  in
+  Format.printf "evaluating %d transactions under both layouts...@." eval_txns;
+  let r =
+    Server.run ~app:(Workload.app w) ~kernel:(Workload.kernel w) ~txns:eval_txns
+      ~seed:1009
+      ~renders:
+        [
+          { Server.app_placement = base; kernel_placement = kernel;
+            emit = feed base_64 base_128 seq_base };
+          { Server.app_placement = optimized; kernel_placement = kernel;
+            emit = feed opt_64 opt_128 seq_opt };
+        ]
+      ()
+  in
+  (match Tpcb.check_consistency r.Server.db with
+  | Ok () -> ()
+  | Error e -> failwith ("database inconsistent: " ^ e));
+
+  let reduction b o = 100.0 *. (1.0 -. (float_of_int o /. float_of_int b)) in
+  Format.printf "@.results (application instruction stream):@.";
+  Format.printf "  64KB/128B  misses: %8d -> %8d  (%.0f%% reduction; paper: 55-65%%)@."
+    (Icache.misses base_64) (Icache.misses opt_64)
+    (reduction (Icache.misses base_64) (Icache.misses opt_64));
+  Format.printf "  128KB/128B misses: %8d -> %8d  (%.0f%% reduction; paper: 55-65%%)@."
+    (Icache.misses base_128) (Icache.misses opt_128)
+    (reduction (Icache.misses base_128) (Icache.misses opt_128));
+  Format.printf "  sequence length: %.1f -> %.1f instructions (paper: 7.3 -> 10+)@."
+    (Seqstat.mean seq_base ~owner:Run.App)
+    (Seqstat.mean seq_opt ~owner:Run.App);
+  Format.printf "  code footprint in 128B lines: %d KB -> %d KB@."
+    (Icache.unique_lines base_128 * 128 / 1024)
+    (Icache.unique_lines opt_128 * 128 / 1024);
+  Format.printf "  (%d committed transactions, %d lock waits, %d context switches)@."
+    r.Server.committed r.Server.lock_waits r.Server.context_switches

@@ -1,0 +1,1 @@
+lib/cachesim/battery.ml: Array Icache List String

@@ -1,0 +1,1 @@
+lib/cachesim/battery.mli: Icache Olayout_exec

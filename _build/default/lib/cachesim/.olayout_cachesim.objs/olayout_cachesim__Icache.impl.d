@@ -1,0 +1,1 @@
+lib/cachesim/icache.ml: Array Hashtbl Olayout_exec Olayout_metrics Printf

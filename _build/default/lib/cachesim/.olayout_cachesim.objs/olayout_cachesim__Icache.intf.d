@@ -1,0 +1,1 @@
+lib/cachesim/icache.mli: Olayout_exec Olayout_metrics

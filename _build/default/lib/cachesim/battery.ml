@@ -1,0 +1,15 @@
+type t = { caches : Icache.t array }
+
+let create ?track_usage configs =
+  { caches = Array.of_list (List.map (Icache.create ?track_usage) configs) }
+
+let access_run t run = Array.iter (fun c -> Icache.access_run c run) t.caches
+let flush_residents t = Array.iter Icache.flush_residents t.caches
+let caches t = Array.to_list t.caches
+
+let find t name =
+  match
+    Array.find_opt (fun c -> String.equal (Icache.cfg c).Icache.name name) t.caches
+  with
+  | Some c -> c
+  | None -> raise Not_found

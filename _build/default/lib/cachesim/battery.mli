@@ -1,0 +1,14 @@
+(** A battery of cache configurations simulated over a single trace replay.
+
+    The paper's figures sweep cache size, line size and associativity; the
+    battery lets one executor walk feed every configuration at once, so a
+    whole figure costs one trace generation. *)
+
+type t
+
+val create : ?track_usage:bool -> Icache.config list -> t
+val access_run : t -> Olayout_exec.Run.t -> unit
+val flush_residents : t -> unit
+val caches : t -> Icache.t list
+val find : t -> string -> Icache.t
+(** Lookup by configuration name.  @raise Not_found when absent. *)

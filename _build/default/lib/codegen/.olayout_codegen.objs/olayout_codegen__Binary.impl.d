@@ -1,0 +1,1 @@
+lib/codegen/binary.ml: Array Block Hashtbl List Olayout_ir Printf Proc Prog Shape Validate

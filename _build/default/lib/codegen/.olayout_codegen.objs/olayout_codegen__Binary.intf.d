@@ -1,0 +1,1 @@
+lib/codegen/binary.mli: Block Olayout_ir Prog Shape

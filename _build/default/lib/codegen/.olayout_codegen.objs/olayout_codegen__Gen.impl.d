@@ -1,0 +1,1 @@
+lib/codegen/gen.ml: Array List Olayout_util Shape

@@ -1,0 +1,1 @@
+lib/codegen/gen.mli: Olayout_util Shape

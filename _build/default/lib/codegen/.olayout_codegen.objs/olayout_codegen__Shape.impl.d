@@ -1,0 +1,1 @@
+lib/codegen/shape.ml: Array Block List Olayout_ir Printf

@@ -1,0 +1,1 @@
+lib/codegen/shape.mli: Block Olayout_ir

@@ -1,0 +1,49 @@
+open Olayout_ir
+
+type def = { name : string; mk_body : (string -> int) -> Shape.stmt list }
+
+type built = {
+  prog : Prog.t;
+  pids : (string, int) Hashtbl.t;
+  hints : (string, (string * Block.id) list) Hashtbl.t;
+}
+
+let build ~name ~base_addr defs =
+  let pids = Hashtbl.create (List.length defs) in
+  List.iteri
+    (fun i (d : def) ->
+      if Hashtbl.mem pids d.name then
+        invalid_arg (Printf.sprintf "Binary.build: duplicate procedure %s" d.name);
+      Hashtbl.add pids d.name i)
+    defs;
+  let pid_of n =
+    match Hashtbl.find_opt pids n with
+    | Some pid -> pid
+    | None -> raise Not_found
+  in
+  let hints = Hashtbl.create 16 in
+  let procs =
+    List.mapi
+      (fun i (d : def) ->
+        let lowered = Shape.lower (d.mk_body pid_of) in
+        if lowered.Shape.hint_points <> [] then
+          Hashtbl.add hints d.name lowered.Shape.hint_points;
+        { Proc.id = i; name = d.name; entry = 0; blocks = lowered.Shape.blocks })
+      defs
+  in
+  let prog = { Prog.name; base_addr; procs = Array.of_list procs } in
+  Validate.check_exn prog;
+  { prog; pids; hints }
+
+let prog b = b.prog
+
+let pid_of b n =
+  match Hashtbl.find_opt b.pids n with Some pid -> pid | None -> raise Not_found
+
+let hints_for b proc_name =
+  match Hashtbl.find_opt b.hints proc_name with Some l -> l | None -> []
+
+let hint b ~proc ~name =
+  let points = hints_for b proc in
+  let block = List.assoc name points in
+  (block, pid_of b proc)

@@ -1,0 +1,27 @@
+(** Assembling synthetic binaries from named procedure definitions.
+
+    Definitions are listed in link order (which becomes the baseline source
+    order).  Bodies are built with a name resolver so call sites can
+    reference any procedure in the binary; the finished program is
+    validated (including call-graph acyclicity). *)
+
+open Olayout_ir
+
+type def = { name : string; mk_body : (string -> int) -> Shape.stmt list }
+(** [mk_body pid_of] returns the procedure's shape; [pid_of name] resolves a
+    callee.  @raise Not_found inside [pid_of] for unknown names. *)
+
+type built
+
+val build : name:string -> base_addr:int -> def list -> built
+(** @raise Invalid_argument on duplicate names or validation failure. *)
+
+val prog : built -> Prog.t
+val pid_of : built -> string -> int
+(** @raise Not_found for unknown procedure names. *)
+
+val hints_for : built -> string -> (string * Block.id) list
+(** Named loop-header hint points of a procedure (empty when none). *)
+
+val hint : built -> proc:string -> name:string -> Block.id * int
+(** Resolve one hint to (block, pid).  @raise Not_found when absent. *)

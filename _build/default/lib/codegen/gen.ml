@@ -1,0 +1,131 @@
+module Rng = Olayout_util.Rng
+
+let chunk rng = Shape.Straight (3 + Rng.int rng 5)
+
+let error_handler rng =
+  let body = [ Shape.Straight (6 + Rng.int rng 10) ] in
+  if Rng.bool rng 0.5 then body @ [ Shape.Return ] else body
+
+(* Argument-validation style: back-to-back cold checks, each a taken branch
+   on the hot path (the paper's 1-instruction sequences).  Most checks are
+   true error checks (p ~ 0); some are feature/tracing flags that fire a
+   few percent of the time and stay unpredictable after chaining. *)
+let check_burst rng =
+  let len =
+    if Rng.bool rng 0.5 then if Rng.bool rng 0.2 then 3 else 2 else 1
+  in
+  List.init len (fun _ ->
+      let p_error =
+        if Rng.bool rng 0.7 then 0.002 +. (Rng.float rng *. 0.02)
+        else 0.02 +. (Rng.float rng *. 0.13)
+      in
+      Shape.If_cold { p_error; error = error_handler rng })
+
+(* Short data-dependent branches (min/max/sign tests): near 50/50, arms too
+   small to matter for size but unchainable — they bound the optimized
+   binary's sequence lengths like real code does. *)
+let tiny_branch rng =
+  Shape.If_else
+    {
+      p_then = 0.4 +. (Rng.float rng *. 0.2);
+      then_ = [ Shape.Straight (2 + Rng.int rng 3) ];
+      else_ = [ Shape.Straight (2 + Rng.int rng 3) ];
+    }
+
+(* Generate ~[budget] body instructions; depth limits nesting. *)
+let rec stmts rng budget depth error_density =
+  if budget <= 0 then []
+  else begin
+    let roll = Rng.float rng in
+    let pick_nested = depth < 3 && budget > 24 in
+    (* Conditions are preceded by the code that computes them (loads,
+       compares): without this, back-to-back constructs produce unrealistic
+       branch-only basic blocks. *)
+    let setup () = Shape.Straight (1 + Rng.int rng 3) in
+    if roll < error_density then
+      (setup () :: check_burst rng) @ stmts rng (budget - 19) depth error_density
+    else if roll < error_density +. 0.08 then
+      setup () :: tiny_branch rng :: stmts rng (budget - 9) depth error_density
+    else if pick_nested && roll < error_density +. 0.17 then begin
+      let then_budget = 6 + Rng.int rng (budget / 3) in
+      let else_budget = 4 + Rng.int rng (budget / 4) in
+      setup ()
+      :: Shape.If_else
+           {
+             p_then = 0.5 +. (Rng.float rng *. 0.35);
+             then_ = nonempty rng then_budget (depth + 1) error_density;
+             else_ = nonempty rng else_budget (depth + 1) error_density;
+           }
+      :: stmts rng (budget - then_budget - else_budget) depth error_density
+    end
+    else if pick_nested && roll < error_density +. 0.23 then begin
+      let body_budget = 8 + Rng.int rng (budget / 3) in
+      Shape.Loop
+        {
+          avg_iters = 2.0 +. (Rng.float rng *. 8.0);
+          body = nonempty rng body_budget (depth + 1) error_density;
+          hint = None;
+        }
+      :: stmts rng (budget - (2 * body_budget)) depth error_density
+    end
+    else if pick_nested && roll < error_density +. 0.27 then begin
+      let n_arms = 3 + Rng.int rng 3 in
+      let arm_budget = max 6 (budget / (2 * n_arms)) in
+      let arms =
+        List.init n_arms (fun i ->
+            let weight = 1.0 /. float_of_int (i + 1) in
+            (weight, nonempty rng arm_budget (depth + 1) error_density))
+      in
+      setup ()
+      :: Shape.Switch { arms }
+      :: stmts rng (budget - (n_arms * arm_budget)) depth error_density
+    end
+    else begin
+      let c = chunk rng in
+      let used = match c with Shape.Straight n -> n | _ -> 6 in
+      c :: stmts rng (budget - used) depth error_density
+    end
+  end
+
+and nonempty rng budget depth error_density =
+  match stmts rng budget depth error_density with
+  | [] -> [ chunk rng ]
+  | l -> l
+
+(* Splice call sites between top-level statements at random positions,
+   preserving call order. *)
+let splice_calls rng body calls =
+  match calls with
+  | [] -> body
+  | _ ->
+      let arr = Array.of_list body in
+      let n = Array.length arr in
+      let slots =
+        List.sort compare (List.map (fun _ -> Rng.int rng (n + 1)) calls)
+      in
+      let positions = List.combine slots calls in
+      let out = ref [] in
+      let remaining = ref positions in
+      for i = 0 to n do
+        let rec emit ~first =
+          match !remaining with
+          | (pos, pid) :: rest when pos = i ->
+              (* Argument setup separates back-to-back call instructions,
+                 as real call sequences do. *)
+              if not first then out := Shape.Straight (2 + Rng.int rng 3) :: !out;
+              out := Shape.Call pid :: !out;
+              remaining := rest;
+              emit ~first:false
+          | _ -> ()
+        in
+        emit ~first:true;
+        if i < n then out := arr.(i) :: !out
+      done;
+      List.rev !out
+
+let random_body rng ~target_instrs ~calls ?(error_density = 0.25) () =
+  let body = nonempty rng target_instrs 0 error_density in
+  splice_calls rng body calls
+
+let cold_body rng ~target_instrs =
+  nonempty rng target_instrs 0 0.4

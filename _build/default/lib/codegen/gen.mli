@@ -1,0 +1,24 @@
+(** Randomized procedure-body generation.
+
+    Key engine procedures are authored explicitly (see
+    {!Olayout_oltp.App_model}); the long tail of utility and cold procedures
+    gets bodies synthesized here.  The statistical targets mirror the
+    paper's workload characterization: basic blocks of ~4-8 instructions,
+    frequent inline error checks (the 1-instruction-sequence producers of
+    Fig 8b), moderate branchiness and occasional loops and switches. *)
+
+val random_body :
+  Olayout_util.Rng.t ->
+  target_instrs:int ->
+  calls:int list ->
+  ?error_density:float ->
+  unit ->
+  Shape.stmt list
+(** Generate a body of roughly [target_instrs] body instructions containing
+    one call site per element of [calls] (procedure ids, placed in order at
+    random points).  [error_density] is the probability that
+    any given chunk is an inline error check (default 0.3). *)
+
+val cold_body : Olayout_util.Rng.t -> target_instrs:int -> Shape.stmt list
+(** A body for never/rarely executed procedures (error formatting, recovery,
+    diagnostics): mostly straight code with dense error branching. *)

@@ -1,0 +1,182 @@
+open Olayout_ir
+
+type stmt =
+  | Straight of int
+  | If_cold of { p_error : float; error : stmt list }
+  | If_else of { p_then : float; then_ : stmt list; else_ : stmt list }
+  | Loop of { avg_iters : float; body : stmt list; hint : string option }
+  | Switch of { arms : (float * stmt list) list }
+  | Call of int
+  | Return
+
+type lowered = { blocks : Block.t array; hint_points : (string * Block.id) list }
+
+(* Mutable proto-blocks; terminators patched as forward targets resolve. *)
+type pblock = { mutable body : int; mutable term : Block.terminator option }
+
+type ctx = {
+  mutable blocks : pblock array;
+  mutable len : int;
+  mutable current : int;
+  mutable hints : (string * Block.id) list;
+}
+
+let new_block ctx =
+  if ctx.len = Array.length ctx.blocks then begin
+    let bigger = Array.make (2 * ctx.len) { body = 0; term = None } in
+    Array.blit ctx.blocks 0 bigger 0 ctx.len;
+    ctx.blocks <- bigger
+  end;
+  ctx.blocks.(ctx.len) <- { body = 0; term = None };
+  ctx.len <- ctx.len + 1;
+  ctx.current <- ctx.len - 1;
+  ctx.len - 1
+
+let close ctx term =
+  let b = ctx.blocks.(ctx.current) in
+  assert (b.term = None);
+  b.term <- Some term
+
+(* Note: blocks that close with an *executed* explicit jump (then-arm and
+   switch-arm exits, loop latches) are padded to a 2-instruction minimum in
+   lower_seq below: compilers emit result moves before such jumps, and
+   branch-only blocks would otherwise dominate the run-length figures. *)
+
+let check_p p what =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg (Printf.sprintf "Shape.lower: %s probability %f outside (0,1)" what p)
+
+let rec lower_seq ctx stmts =
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Straight n ->
+          if n < 0 then invalid_arg "Shape.lower: negative straight run";
+          ctx.blocks.(ctx.current).body <- ctx.blocks.(ctx.current).body + n
+      | Call callee ->
+          let site = ctx.current in
+          let ret = new_block ctx in
+          ctx.blocks.(site).term <- Some (Block.Call { callee; ret })
+      | Return ->
+          close ctx Block.Ret;
+          (* Anything after is unreachable cold code; keep emitting. *)
+          ignore (new_block ctx)
+      | If_cold { p_error; error } ->
+          check_p p_error "error";
+          let cond_block = ctx.current in
+          let error_entry = new_block ctx in
+          ctx.blocks.(cond_block).term <-
+            Some (Block.Cond { taken = -1; fall = error_entry; p_taken = 1.0 -. p_error });
+          lower_seq ctx error;
+          let error_exit = ctx.current in
+          let cont = new_block ctx in
+          ctx.blocks.(error_exit).term <- Some (Block.Fall cont);
+          (match ctx.blocks.(cond_block).term with
+          | Some (Block.Cond c) ->
+              ctx.blocks.(cond_block).term <- Some (Block.Cond { c with taken = cont })
+          | _ -> assert false)
+      | If_else { p_then; then_; else_ } ->
+          check_p p_then "then";
+          let cond_block = ctx.current in
+          let then_entry = new_block ctx in
+          ctx.blocks.(cond_block).term <-
+            Some (Block.Cond { taken = -1; fall = then_entry; p_taken = 1.0 -. p_then });
+          lower_seq ctx then_;
+          let then_exit = ctx.current in
+          let else_entry = new_block ctx in
+          (match ctx.blocks.(cond_block).term with
+          | Some (Block.Cond c) ->
+              ctx.blocks.(cond_block).term <- Some (Block.Cond { c with taken = else_entry })
+          | _ -> assert false);
+          lower_seq ctx else_;
+          let else_exit = ctx.current in
+          let cont = new_block ctx in
+          if ctx.blocks.(then_exit).body = 0 then ctx.blocks.(then_exit).body <- 2;
+          ctx.blocks.(then_exit).term <- Some (Block.Jump cont);
+          ctx.blocks.(else_exit).term <- Some (Block.Fall cont)
+      | Loop { avg_iters; body; hint } ->
+          if avg_iters < 1.5 then
+            invalid_arg "Shape.lower: avg_iters must be >= 1.5 (loop body is the hot arm)";
+          let before = ctx.current in
+          let header = new_block ctx in
+          ctx.blocks.(before).term <- Some (Block.Fall header);
+          ctx.blocks.(header).body <- 2;
+          (match hint with
+          | Some name -> ctx.hints <- (name, header) :: ctx.hints
+          | None -> ());
+          let body_entry = new_block ctx in
+          ctx.blocks.(header).term <-
+            Some
+              (Block.Cond
+                 { taken = -1; fall = body_entry; p_taken = 1.0 /. (avg_iters +. 1.0) });
+          lower_seq ctx body;
+          let body_exit = ctx.current in
+          if ctx.blocks.(body_exit).body = 0 then ctx.blocks.(body_exit).body <- 2;
+          ctx.blocks.(body_exit).term <- Some (Block.Jump header);
+          let cont = new_block ctx in
+          (match ctx.blocks.(header).term with
+          | Some (Block.Cond c) ->
+              ctx.blocks.(header).term <- Some (Block.Cond { c with taken = cont })
+          | _ -> assert false)
+      | Switch { arms } ->
+          if arms = [] then invalid_arg "Shape.lower: empty switch";
+          let dispatch = ctx.current in
+          let arm_info =
+            List.map
+              (fun (w, stmts) ->
+                if w <= 0.0 then invalid_arg "Shape.lower: non-positive switch weight";
+                let entry = new_block ctx in
+                lower_seq ctx stmts;
+                let exit = ctx.current in
+                if ctx.blocks.(exit).body = 0 then ctx.blocks.(exit).body <- 2;
+                ctx.blocks.(exit).term <- Some (Block.Jump (-1));
+                (w, entry, exit))
+              arms
+          in
+          let cont = new_block ctx in
+          List.iter
+            (fun (_, _, exit) -> ctx.blocks.(exit).term <- Some (Block.Jump cont))
+            arm_info;
+          ctx.blocks.(dispatch).term <-
+            Some
+              (Block.Ijump
+                 (Array.of_list (List.map (fun (w, entry, _) -> (entry, w)) arm_info))))
+    stmts
+
+let lower stmts =
+  let ctx =
+    { blocks = Array.init 16 (fun _ -> { body = 0; term = None }); len = 0; current = 0; hints = [] }
+  in
+  ignore (new_block ctx);
+  lower_seq ctx stmts;
+  (* Function epilogue (register restores) before the return. *)
+  ctx.blocks.(ctx.current).body <- ctx.blocks.(ctx.current).body + 2;
+  close ctx Block.Ret;
+  let blocks =
+    Array.init ctx.len (fun i ->
+        let pb = ctx.blocks.(i) in
+        let term =
+          match pb.term with
+          | Some t -> t
+          | None ->
+              (* Unreachable trailing block created after an early Return. *)
+              Block.Ret
+        in
+        { Block.id = i; body = pb.body; term })
+  in
+  { blocks; hint_points = List.rev ctx.hints }
+
+let rec body_instrs stmts =
+  List.fold_left
+    (fun acc stmt ->
+      acc
+      +
+      match stmt with
+      | Straight n -> n
+      | Call _ -> 0
+      | Return -> 0
+      | If_cold { error; _ } -> body_instrs error
+      | If_else { then_; else_; _ } -> body_instrs then_ + body_instrs else_
+      | Loop { body; _ } -> 2 + body_instrs body
+      | Switch { arms } -> List.fold_left (fun a (_, s) -> a + body_instrs s) 0 arms)
+    0 stmts

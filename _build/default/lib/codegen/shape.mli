@@ -1,0 +1,52 @@
+(** Structured code shapes and their lowering to source-order CFGs.
+
+    The synthetic binaries are authored in a small structured language
+    (straight-line runs, error checks, if/else, loops, switches, call
+    sites), which lowers to basic blocks exactly the way a classic
+    non-layout-optimizing compiler emits them:
+
+    - an error check branches *over* its inline handler (hot path takes the
+      branch — the taken-branch badness that chaining later removes);
+    - if/else puts the then-arm on the fall-through path and jumps over the
+      else-arm to rejoin;
+    - loops place the exit test in the header and end the body with a hot
+      unconditional backedge branch;
+    - switch arms jump to a common continuation via an indirect jump.
+
+    Lowering maintains the source-order invariants {!Olayout_ir.Validate}
+    checks (fall-throughs and call returns target the textually next
+    block). *)
+
+open Olayout_ir
+
+type stmt =
+  | Straight of int  (** [n] straight-line instructions. *)
+  | If_cold of { p_error : float; error : stmt list }
+      (** Inline error handler, entered with probability [p_error]. *)
+  | If_else of { p_then : float; then_ : stmt list; else_ : stmt list }
+  | Loop of { avg_iters : float; body : stmt list; hint : string option }
+      (** A loop running [avg_iters] times on average ([>= 1.5]).  When
+          [hint] is set, the header's block id is exported so the executor
+          can pin trip counts semantically. *)
+  | Switch of { arms : (float * stmt list) list }
+      (** Weighted indirect-jump dispatch; arms rejoin after the switch. *)
+  | Call of int  (** Call site to procedure id. *)
+  | Return  (** Early return (ends the hot path of a cold region). *)
+
+type lowered = {
+  blocks : Block.t array;
+  hint_points : (string * Block.id) list;
+      (** Loop-header blocks by hint name, for {!Olayout_exec.Walk.call}. *)
+}
+
+val lower : stmt list -> lowered
+(** Lower a procedure body.  The entry is block 0; a 2-instruction epilogue
+    and a final [Ret] are appended, and blocks that would end with an
+    executed explicit jump while empty (then/switch-arm exits, loop
+    latches) get a 2-instruction minimum body, as compiled code does.
+    @raise Invalid_argument on malformed shapes (empty switch,
+    [avg_iters < 1.5], probabilities outside (0,1)). *)
+
+val body_instrs : stmt list -> int
+(** Static instruction estimate of the lowered body (bodies only, excluding
+    terminators). *)

@@ -1,0 +1,1 @@
+lib/core/cfa.ml: Block List Olayout_ir Olayout_metrics Olayout_profile Placement Proc Prog Segment

@@ -1,0 +1,1 @@
+lib/core/cfa.mli: Olayout_profile Placement Segment

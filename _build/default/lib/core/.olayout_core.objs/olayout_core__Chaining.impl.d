@@ -1,0 +1,1 @@
+lib/core/chaining.ml: Array Block List Olayout_ir Olayout_profile Proc Prog Segment

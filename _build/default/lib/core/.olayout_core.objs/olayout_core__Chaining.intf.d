@@ -1,0 +1,1 @@
+lib/core/chaining.mli: Block Olayout_ir Olayout_profile Segment

@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Block List Olayout_ir Olayout_profile Placement Proc Prog Segment

@@ -1,0 +1,1 @@
+lib/core/listing.ml: Array Block Format List Olayout_ir Olayout_profile Placement Printf Proc Prog Segment

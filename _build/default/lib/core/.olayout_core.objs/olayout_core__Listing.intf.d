@@ -1,0 +1,1 @@
+lib/core/listing.mli: Format Olayout_profile Placement

@@ -1,0 +1,1 @@
+lib/core/pettis_hansen.ml: Array Block Hashtbl List Olayout_ir Olayout_profile Proc Prog Segment

@@ -1,0 +1,1 @@
+lib/core/pettis_hansen.mli: Olayout_profile Segment

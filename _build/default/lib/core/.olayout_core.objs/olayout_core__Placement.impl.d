@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Block List Olayout_ir Proc Prog Segment

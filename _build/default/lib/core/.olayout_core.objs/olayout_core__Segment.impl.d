@@ -1,0 +1,1 @@
+lib/core/segment.ml: Array Block List Olayout_ir Printf Proc Prog

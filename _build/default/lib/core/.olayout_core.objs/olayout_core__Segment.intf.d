@@ -1,0 +1,1 @@
+lib/core/segment.mli: Block Olayout_ir Proc Prog

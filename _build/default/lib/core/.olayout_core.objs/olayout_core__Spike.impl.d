@@ -1,0 +1,1 @@
+lib/core/spike.ml: Array Cfa Chaining Olayout_ir Olayout_profile Pettis_hansen Placement Prog Segment Splitting

@@ -1,0 +1,1 @@
+lib/core/spike.mli: Olayout_profile Placement

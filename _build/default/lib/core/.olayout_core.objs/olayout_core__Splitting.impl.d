@@ -1,0 +1,1 @@
+lib/core/splitting.ml: Array Block Chaining List Olayout_ir Olayout_profile Proc Prog Segment

@@ -1,0 +1,1 @@
+lib/core/splitting.mli: Block Olayout_ir Olayout_profile Prog Segment

@@ -1,0 +1,1 @@
+lib/core/temporal_order.ml: Array Hashtbl List Olayout_profile Pettis_hansen Segment

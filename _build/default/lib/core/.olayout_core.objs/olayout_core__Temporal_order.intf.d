@@ -1,0 +1,1 @@
+lib/core/temporal_order.mli: Olayout_profile Segment

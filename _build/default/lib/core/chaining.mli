@@ -1,0 +1,25 @@
+(** Basic block chaining (paper §2, Figure 1a).
+
+    A greedy algorithm orders the basic blocks within a procedure so that the
+    heaviest control-flow edges become fall-throughs: flow edges are sorted
+    by profiled weight and processed heaviest-first; an edge links its source
+    and destination if the source has no successor yet, the destination has
+    no predecessor yet, and the link would not close a cycle.  The resulting
+    chains are emitted with the entry chain first and the remaining chains in
+    decreasing order of their first block's execution count.
+
+    Call sites never break a chain: a call block and its return-continuation
+    block form an indivisible "atom" (a call is not an unconditional
+    transfer), so chains are built over atoms. *)
+
+open Olayout_ir
+
+val chain_proc : Olayout_profile.Profile.t -> int -> Block.id list list
+(** [chain_proc profile pid] returns the chains for procedure [pid], in
+    final emission order.  Every block of the procedure appears in exactly
+    one chain; call glue is preserved. *)
+
+val segments_one_per_proc : Olayout_profile.Profile.t -> Segment.t list
+(** Chain every procedure and concatenate each procedure's chains into a
+    single segment (chaining without splitting), procedures in original
+    order. *)

@@ -1,0 +1,66 @@
+open Olayout_ir
+module Profile = Olayout_profile.Profile
+
+let line_bytes = 64
+
+let segment_heat profile (seg : Segment.t) =
+  List.fold_left
+    (fun acc b -> acc + Profile.block_count profile ~proc:seg.proc ~block:b)
+    0 seg.blocks
+
+(* Conservative encoded size (placement may elide branches, never grow
+   beyond body + 2 per block). *)
+let segment_bytes prog (seg : Segment.t) =
+  let p = Prog.proc prog seg.proc in
+  List.fold_left
+    (fun acc b -> acc + (((Proc.block p b).Block.body + 2) * Block.bytes_per_instr))
+    0 seg.blocks
+
+let place profile ~segments ~cache_bytes ?(max_gap_lines = 16) () =
+  if cache_bytes <= 0 || cache_bytes land (cache_bytes - 1) <> 0 then
+    invalid_arg "Coloring.place: cache_bytes must be a power of two";
+  let prog = Profile.prog profile in
+  let n_colors = cache_bytes / line_bytes in
+  let heat_of_color = Array.make n_colors 0.0 in
+  let base = prog.Prog.base_addr in
+  let color_of addr = (addr - base) / line_bytes mod n_colors in
+  (* Score of placing [bytes] of heat [h] at [addr]: total heat already on
+     the covered colors. *)
+  let span_score addr bytes =
+    let first = color_of addr in
+    let lines = max 1 ((bytes + line_bytes - 1) / line_bytes) in
+    let score = ref 0.0 in
+    for i = 0 to min lines n_colors - 1 do
+      score := !score +. heat_of_color.((first + i) mod n_colors)
+    done;
+    !score
+  in
+  let claim addr bytes heat_per_line =
+    let first = color_of addr in
+    let lines = max 1 ((bytes + line_bytes - 1) / line_bytes) in
+    for i = 0 to min lines n_colors - 1 do
+      heat_of_color.((first + i) mod n_colors) <-
+        heat_of_color.((first + i) mod n_colors) +. heat_per_line
+    done
+  in
+  let addr_of seg cursor =
+    let heat = float_of_int (segment_heat profile seg) in
+    let bytes = segment_bytes prog seg in
+    if heat = 0.0 then cursor
+    else begin
+      (* Try gaps of 0..max_gap_lines lines; pick the least-contended. *)
+      let best = ref cursor and best_score = ref infinity in
+      for gap = 0 to max_gap_lines do
+        let addr = cursor + (gap * line_bytes) in
+        let score = span_score addr bytes in
+        if score < !best_score then begin
+          best_score := score;
+          best := addr
+        end
+      done;
+      let lines = max 1 ((bytes + line_bytes - 1) / line_bytes) in
+      claim !best bytes (heat /. float_of_int lines);
+      !best
+    end
+  in
+  Placement.of_segments_at ~align:4 prog ~addr_of segments

@@ -1,0 +1,24 @@
+(** Cache-line-coloring procedure placement (Hashemi, Kaeli & Calder,
+    PLDI'97; also Kalamaitianos & Kaeli — both cited in the paper's §6).
+
+    Instead of only packing related code close together (Pettis-Hansen),
+    coloring tracks which cache lines ("colors") of a target direct-mapped
+    cache the already-placed hot code occupies, and inserts small gaps so a
+    newly placed hot segment avoids the most contended colors.  The paper
+    argues such placement-only schemes are ineffective for OLTP without
+    chaining and splitting; the [coloring] ablation measures this
+    implementation against Pettis-Hansen on equal (chained + split)
+    segments. *)
+
+val place :
+  Olayout_profile.Profile.t ->
+  segments:Segment.t list ->
+  cache_bytes:int ->
+  ?max_gap_lines:int ->
+  unit ->
+  Placement.t
+(** Place [segments] in the given order, shifting each segment by up to
+    [max_gap_lines] cache lines (default 16) to the start offset whose
+    colors carry the least already-placed execution heat.  Cold segments
+    (zero heat) are packed without gaps.  [cache_bytes] must be a power of
+    two. *)

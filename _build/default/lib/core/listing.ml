@@ -1,0 +1,64 @@
+open Olayout_ir
+module Profile = Olayout_profile.Profile
+
+let term_text placement ~proc (b : Block.t) =
+  let target blk = Placement.block_addr placement ~proc ~block:blk in
+  match b.Block.term with
+  | Block.Fall d -> Printf.sprintf "fall    %#x" (target d)
+  | Block.Jump d -> Printf.sprintf "br      %#x" (target d)
+  | Block.Cond { taken; fall; _ } ->
+      Printf.sprintf "bcond   %#x / fall %#x" (target taken) (target fall)
+  | Block.Call { callee; ret } ->
+      Printf.sprintf "jsr     p%d, ret %#x" callee (target ret)
+  | Block.Ijump targets -> Printf.sprintf "jmp     (%d-way)" (Array.length targets)
+  | Block.Ret -> "ret"
+  | Block.Halt -> "halt"
+
+let pp_proc ?profile ppf placement ~proc =
+  let prog = Placement.prog placement in
+  let p = Prog.proc prog proc in
+  (* Blocks in address order. *)
+  let order =
+    List.sort
+      (fun a b ->
+        compare
+          (Placement.block_addr placement ~proc ~block:a)
+          (Placement.block_addr placement ~proc ~block:b))
+      (List.init (Proc.n_blocks p) (fun i -> i))
+  in
+  Format.fprintf ppf "@[<v>%s (proc %d):@," p.Proc.name proc;
+  List.iter
+    (fun block ->
+      let addr = Placement.block_addr placement ~proc ~block in
+      let instrs = Placement.static_instrs placement ~proc ~block in
+      let blk = Proc.block p block in
+      let count =
+        match profile with
+        | Some prof -> Printf.sprintf " ; x%d" (Profile.block_count prof ~proc ~block)
+        | None -> ""
+      in
+      Format.fprintf ppf "  %#010x  b%-4d %3d instrs  %s%s@," addr block instrs
+        (term_text placement ~proc blk)
+        count)
+    order;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf placement =
+  let prog = Placement.prog placement in
+  Format.fprintf ppf "@[<v>%d segments, text %d KB:@,"
+    (List.length (Placement.segments placement))
+    (Placement.text_bytes placement / 1024);
+  List.iter
+    (fun (seg : Segment.t) ->
+      let head = Segment.head seg in
+      let addr = Placement.block_addr placement ~proc:seg.proc ~block:head in
+      let bytes =
+        List.fold_left
+          (fun acc b ->
+            acc + (Placement.static_instrs placement ~proc:seg.proc ~block:b * 4))
+          0 seg.blocks
+      in
+      Format.fprintf ppf "  %#010x  %5d B  %s (%d blocks)@," addr bytes
+        (Prog.proc prog seg.proc).Proc.name (List.length seg.blocks))
+    (Placement.segments placement);
+  Format.fprintf ppf "@]"

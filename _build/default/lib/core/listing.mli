@@ -1,0 +1,14 @@
+(** Objdump-style listings of placed code.
+
+    Renders a procedure's blocks under a placement with concrete addresses,
+    encoded sizes and resolved branch targets — the view an engineer would
+    use to inspect what the optimizer did to a function.  Backs the CLI's
+    [disasm] subcommand and is handy in tests. *)
+
+val pp_proc :
+  ?profile:Olayout_profile.Profile.t -> Format.formatter -> Placement.t -> proc:int -> unit
+(** List one procedure's blocks in address order.  With [profile], each
+    block is annotated with its execution count. *)
+
+val pp_summary : Format.formatter -> Placement.t -> unit
+(** One line per segment: start address, size, owning procedure(s). *)

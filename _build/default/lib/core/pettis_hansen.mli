@@ -1,0 +1,31 @@
+(** Pettis-Hansen "closest is best" procedure ordering (paper §2, Figure 2).
+
+    Nodes are code segments (whole procedures before splitting, chains after
+    fine-grain splitting).  An undirected graph weights each pair of segments
+    by the number of profiled transitions between them: call-site executions
+    (call block to callee entry) plus intra-procedure branches that cross
+    segments.  The heaviest edge is selected repeatedly; its two node groups
+    are merged end-to-end, choosing among the four possible end pairings the
+    one whose touching endpoints have the heaviest *original* weight.  The
+    final group orderings concatenate hottest-first; segments never reached
+    during profiling keep their original relative order at the end. *)
+
+
+val order : Olayout_profile.Profile.t -> Segment.t list -> Segment.t list
+(** Reorder segments; the result is a permutation of the input. *)
+
+val order_weighted :
+  weights:((int * int) * float) list ->
+  heat:(int -> float) ->
+  Segment.t list ->
+  Segment.t list
+(** The closest-is-best engine with externally supplied affinities:
+    [weights] are undirected pair weights over input segment indices,
+    [heat i] ranks groups for final emission.  {!order} is this engine with
+    profiled call/branch weights; {!Temporal_order.order} feeds it a
+    temporal-relationship graph instead (Gloy et al.). *)
+
+val pair_weights :
+  Olayout_profile.Profile.t -> Segment.t list -> ((int * int) * float) list
+(** The undirected segment-graph weights (by input segment index), exposed
+    for tests and for diagnostics; only positive-weight pairs appear. *)

@@ -1,0 +1,159 @@
+open Olayout_ir
+
+type t = {
+  prog : Prog.t;
+  addr : int array array;
+  static_sz : int array array;  (* encoded instrs incl. terminator *)
+  extra0 : int array array;     (* executed terminator instrs, arm 0 *)
+  extra1 : int array array;     (* executed terminator instrs, arm 1 *)
+  text_bytes : int;
+  segments : Segment.t list;
+}
+
+let shape prog v =
+  Array.map (fun (p : Proc.t) -> Array.make (Proc.n_blocks p) v) prog.Prog.procs
+
+let align_up a alignment = (a + alignment - 1) / alignment * alignment
+
+(* Encoded terminator for block [b] when the block placed next (in the same
+   segment) is [next].  Returns (static terminator instrs, exec arm0, exec arm1). *)
+let encode (b : Block.t) (next : Block.id option) =
+  match b.term with
+  | Block.Fall d -> if next = Some d then (0, 0, 0) else (1, 1, 1)
+  | Block.Jump d -> if next = Some d then (0, 0, 0) else (1, 1, 1)
+  | Block.Cond { taken; fall; _ } ->
+      if next = Some fall then (1, 1, 1)
+      else if next = Some taken then (1, 1, 1) (* inverted condition *)
+      else (2, 1, 2) (* cond + companion branch; fall path executes both *)
+  | Block.Call _ -> (1, 1, 1)
+  | Block.Ijump _ -> (1, 1, 1)
+  | Block.Ret -> (1, 1, 1)
+  | Block.Halt -> (0, 0, 0)
+
+let of_segments_at ?(align = 16) prog ~addr_of segments =
+  if align < Block.bytes_per_instr || align mod Block.bytes_per_instr <> 0 then
+    invalid_arg "Placement.of_segments: bad alignment";
+  Segment.check_cover prog segments;
+  let addr = shape prog 0 in
+  let static_sz = shape prog 0 in
+  let extra0 = shape prog 0 in
+  let extra1 = shape prog 0 in
+  let cursor = ref prog.Prog.base_addr in
+  List.iter
+    (fun (seg : Segment.t) ->
+      let p = Prog.proc prog seg.proc in
+      let start = addr_of seg (align_up !cursor align) in
+      if start < !cursor then invalid_arg "Placement: addr_of moved backwards";
+      if start mod Block.bytes_per_instr <> 0 then
+        invalid_arg "Placement: addr_of returned unaligned address";
+      cursor := start;
+      let rec place = function
+        | [] -> ()
+        | b :: rest ->
+            let blk = Proc.block p b in
+            let next = match rest with nb :: _ -> Some nb | [] -> None in
+            let t_static, e0, e1 = encode blk next in
+            let sz = blk.Block.body + t_static in
+            addr.(seg.proc).(b) <- !cursor;
+            static_sz.(seg.proc).(b) <- sz;
+            extra0.(seg.proc).(b) <- e0;
+            extra1.(seg.proc).(b) <- e1;
+            cursor := !cursor + (sz * Block.bytes_per_instr);
+            place rest
+      in
+      place seg.blocks)
+    segments;
+  {
+    prog;
+    addr;
+    static_sz;
+    extra0;
+    extra1;
+    text_bytes = !cursor - prog.Prog.base_addr;
+    segments;
+  }
+
+let of_segments ?align prog segments =
+  of_segments_at ?align prog ~addr_of:(fun _ a -> a) segments
+
+let original ?align prog =
+  of_segments ?align prog
+    (Array.to_list (Array.map Segment.of_proc prog.Prog.procs))
+
+let prog t = t.prog
+let block_addr t ~proc ~block = t.addr.(proc).(block)
+let static_instrs t ~proc ~block = t.static_sz.(proc).(block)
+
+let exec_instrs t ~proc ~block ~arm =
+  let p = Prog.proc t.prog proc in
+  let b = Proc.block p block in
+  let extra =
+    if arm = 0 then t.extra0.(proc).(block)
+    else if arm = 1 then t.extra1.(proc).(block)
+    else 1 (* ijump arms beyond the first two always execute the jump *)
+  in
+  b.Block.body + extra
+
+let text_bytes t = t.text_bytes
+
+let program_instrs t =
+  Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 t.static_sz
+
+let segments t = t.segments
+
+let long_branches t ?(max_displacement = 0x10_0000) () =
+  let count = ref 0 in
+  let far pc target = abs (target - pc) > max_displacement in
+  Prog.iter_blocks t.prog (fun p b ->
+      let proc = p.Proc.id and block = b.Block.id in
+      let addr = t.addr.(proc).(block) in
+      let size = t.static_sz.(proc).(block) in
+      let end_addr = addr + (size * Block.bytes_per_instr) in
+      let target d = t.addr.(proc).(d) in
+      match b.Block.term with
+      | Block.Jump d | Block.Fall d ->
+          (* Encoded as a branch only when not adjacent. *)
+          if target d <> end_addr && far (end_addr - 4) (target d) then incr count
+      | Block.Cond { taken; fall; _ } ->
+          let pc = addr + (b.Block.body * Block.bytes_per_instr) in
+          if target taken = end_addr then begin
+            (* Inverted condition: the branch targets the fall successor. *)
+            if far pc (target fall) then incr count
+          end
+          else begin
+            if far pc (target taken) then incr count;
+            (* Companion branch when neither successor is adjacent. *)
+            if target fall <> end_addr && far (end_addr - 4) (target fall) then incr count
+          end
+      | Block.Call _ | Block.Ijump _ | Block.Ret | Block.Halt -> ())
+  ;
+  !count
+
+let cond_branch t ~proc ~block ~arm =
+  let p = Prog.proc t.prog proc in
+  match (Proc.block p block).Block.term with
+  | Block.Cond { taken; fall; _ } ->
+      let addr = t.addr.(proc).(block) in
+      let body = (Proc.block p block).Block.body in
+      let pc = addr + (body * Block.bytes_per_instr) in
+      let end_addr = addr + (t.static_sz.(proc).(block) * Block.bytes_per_instr) in
+      let taken_addr = t.addr.(proc).(taken) and fall_addr = t.addr.(proc).(fall) in
+      if taken_addr = end_addr then
+        (* Inverted condition: the branch targets the original fall-through. *)
+        Some (pc, fall_addr, arm = 1)
+      else
+        (* Normal encoding, or condition plus companion branch: the
+           conditional instruction itself is taken exactly on arm 0. *)
+        Some (pc, taken_addr, arm = 0)
+  | Block.Fall _ | Block.Jump _ | Block.Call _ | Block.Ijump _ | Block.Ret | Block.Halt ->
+      None
+
+let iter_placed t f =
+  List.iter
+    (fun (seg : Segment.t) ->
+      List.iter
+        (fun b ->
+          f ~proc:seg.proc ~block:b ~addr:t.addr.(seg.proc).(b)
+            ~instrs:t.static_sz.(seg.proc).(b))
+        seg.blocks)
+    t.segments

@@ -1,0 +1,56 @@
+open Olayout_ir
+
+type t = { proc : int; blocks : Block.id list }
+
+let of_proc (p : Proc.t) =
+  { proc = p.id; blocks = List.init (Proc.n_blocks p) (fun i -> i) }
+
+let head t =
+  match t.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg "Segment.head: empty segment"
+
+let n_blocks t = List.length t.blocks
+
+let contains_entry (p : Proc.t) t = t.proc = p.id && List.mem p.entry t.blocks
+
+let check_cover prog segments =
+  let seen =
+    Array.map (fun (p : Proc.t) -> Array.make (Proc.n_blocks p) false) prog.Prog.procs
+  in
+  List.iter
+    (fun seg ->
+      let p = Prog.proc prog seg.proc in
+      let rec go = function
+        | [] -> ()
+        | b :: rest ->
+            if b < 0 || b >= Proc.n_blocks p then
+              invalid_arg
+                (Printf.sprintf "Segment.check_cover: p%d b%d out of range" seg.proc b);
+            if seen.(seg.proc).(b) then
+              invalid_arg
+                (Printf.sprintf "Segment.check_cover: p%d b%d placed twice" seg.proc b);
+            seen.(seg.proc).(b) <- true;
+            (match (Proc.block p b).Block.term with
+            | Block.Call { ret; _ } ->
+                (match rest with
+                | next :: _ when next = ret -> ()
+                | _ ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Segment.check_cover: p%d b%d call not glued to its return block"
+                         seg.proc b))
+            | _ -> ());
+            go rest
+      in
+      go seg.blocks)
+    segments;
+  Array.iteri
+    (fun pid row ->
+      Array.iteri
+        (fun bid placed ->
+          if not placed then
+            invalid_arg
+              (Printf.sprintf "Segment.check_cover: p%d b%d never placed" pid bid))
+        row)
+    seen

@@ -1,0 +1,43 @@
+open Olayout_ir
+module Profile = Olayout_profile.Profile
+
+type combo = Base | Porder | Chain | Chain_split | Chain_porder | All
+
+let all_combos = [ Base; Porder; Chain; Chain_split; Chain_porder; All ]
+
+let combo_name = function
+  | Base -> "base"
+  | Porder -> "porder"
+  | Chain -> "chain"
+  | Chain_split -> "chain+split"
+  | Chain_porder -> "chain+porder"
+  | All -> "all"
+
+let proc_segments prog =
+  Array.to_list (Array.map Segment.of_proc prog.Prog.procs)
+
+let segments_for profile = function
+  | Base -> proc_segments (Profile.prog profile)
+  | Porder -> Pettis_hansen.order profile (proc_segments (Profile.prog profile))
+  | Chain -> Chaining.segments_one_per_proc profile
+  | Chain_split -> Splitting.fine_grain profile
+  | Chain_porder ->
+      Pettis_hansen.order profile (Chaining.segments_one_per_proc profile)
+  | All -> Pettis_hansen.order profile (Splitting.fine_grain profile)
+
+let optimize ?align profile combo =
+  let align =
+    match (align, combo) with
+    | Some a, _ -> a
+    | None, Base -> 16
+    | None, (Porder | Chain | Chain_split | Chain_porder | All) -> 4
+  in
+  Placement.of_segments ~align (Profile.prog profile) (segments_for profile combo)
+
+let hot_cold_all ?threshold profile =
+  let segments = Pettis_hansen.order profile (Splitting.hot_cold ?threshold profile) in
+  Placement.of_segments ~align:4 (Profile.prog profile) segments
+
+let cfa_all profile ~cache_bytes ~cfa_fraction =
+  let segments = Pettis_hansen.order profile (Splitting.fine_grain profile) in
+  Cfa.place profile ~segments ~cache_bytes ~cfa_fraction

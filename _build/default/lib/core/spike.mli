@@ -1,0 +1,29 @@
+(** The Spike-style optimization pipeline: the paper's six layout
+    combinations (Figure 7 / Figure 15) plus the ablation variants. *)
+
+type combo =
+  | Base  (** Original compiler layout. *)
+  | Porder  (** Pettis-Hansen over whole procedures only. *)
+  | Chain  (** Basic-block chaining only. *)
+  | Chain_split
+      (** Chaining + fine-grain splitting, segments kept in natural order. *)
+  | Chain_porder  (** Chaining + Pettis-Hansen over whole procedures. *)
+  | All  (** Chaining + fine-grain splitting + Pettis-Hansen: "all". *)
+
+val all_combos : combo list
+(** In the paper's presentation order. *)
+
+val combo_name : combo -> string
+
+val optimize : ?align:int -> Olayout_profile.Profile.t -> combo -> Placement.t
+(** Produce the placement for a combination.  [align] defaults to 16 for
+    [Base] (compiler procedure alignment) and 4 for every optimized layout
+    (Spike packs segments tightly). *)
+
+val hot_cold_all : ?threshold:int -> Olayout_profile.Profile.t -> Placement.t
+(** Ablation: chaining + stock-Spike hot/cold splitting + Pettis-Hansen,
+    i.e. "all" with the distribution splitter instead of fine-grain. *)
+
+val cfa_all :
+  Olayout_profile.Profile.t -> cache_bytes:int -> cfa_fraction:float -> Placement.t
+(** Ablation: the full pipeline placed with a conflict-free area. *)

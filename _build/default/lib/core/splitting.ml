@@ -1,0 +1,51 @@
+open Olayout_ir
+module Profile = Olayout_profile.Profile
+
+let fine_grain_of_chains _prog proc_chains =
+  List.concat_map
+    (fun (pid, chains) ->
+      List.map (fun blocks -> { Segment.proc = pid; blocks }) chains)
+    proc_chains
+
+let fine_grain profile =
+  let prog = Profile.prog profile in
+  fine_grain_of_chains prog
+    (List.init (Prog.n_procs prog) (fun pid -> (pid, Chaining.chain_proc profile pid)))
+
+let hot_cold ?(threshold = 0) profile =
+  let prog = Profile.prog profile in
+  List.concat_map
+    (fun pid ->
+      let p = Prog.proc prog pid in
+      let chained = List.concat (Chaining.chain_proc profile pid) in
+      (* Promote call glue: a call block and its return block share heat. *)
+      let hot_block = Array.make (Proc.n_blocks p) false in
+      List.iter
+        (fun b ->
+          if Profile.block_count profile ~proc:pid ~block:b > threshold then
+            hot_block.(b) <- true)
+        chained;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Array.iter
+          (fun (blk : Block.t) ->
+            match blk.Block.term with
+            | Block.Call { ret; _ } ->
+                let both = hot_block.(blk.id) || hot_block.(ret) in
+                if both && not (hot_block.(blk.id) && hot_block.(ret)) then begin
+                  hot_block.(blk.id) <- both;
+                  hot_block.(ret) <- both;
+                  changed := true
+                end
+            | _ -> ())
+          p.blocks
+      done;
+      let hot = List.filter (fun b -> hot_block.(b)) chained in
+      let cold = List.filter (fun b -> not hot_block.(b)) chained in
+      let mk blocks = { Segment.proc = pid; blocks } in
+      match (hot, cold) with
+      | [], cold -> [ mk cold ]
+      | hot, [] -> [ mk hot ]
+      | hot, cold -> [ mk hot; mk cold ])
+    (List.init (Prog.n_procs prog) (fun i -> i))

@@ -1,0 +1,1 @@
+lib/db/btree.ml: Buffer Bytes Disk Heap Hooks Int32 Int64 Page

@@ -1,0 +1,1 @@
+lib/db/btree.mli: Buffer Disk Heap Hooks

@@ -1,0 +1,1 @@
+lib/db/buffer.ml: Array Disk Hashtbl Hooks Page Printf

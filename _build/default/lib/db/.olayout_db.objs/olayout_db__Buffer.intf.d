@@ -1,0 +1,1 @@
+lib/db/buffer.mli: Disk Hooks Page

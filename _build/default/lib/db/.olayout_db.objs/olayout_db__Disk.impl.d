@@ -1,0 +1,1 @@
+lib/db/disk.ml: Array Bytes Hooks Option Page Printf

@@ -1,0 +1,1 @@
+lib/db/disk.mli: Hooks Page

@@ -1,0 +1,1 @@
+lib/db/env.ml: Buffer Disk Hooks Lock Txn Wal

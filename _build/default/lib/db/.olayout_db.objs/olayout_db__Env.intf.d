@@ -1,0 +1,1 @@
+lib/db/env.mli: Buffer Disk Hooks Lock Txn Wal

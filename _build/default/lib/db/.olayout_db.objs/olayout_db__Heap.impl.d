@@ -1,0 +1,1 @@
+lib/db/heap.ml: Buffer Bytes Disk Hooks List Page

@@ -1,0 +1,1 @@
+lib/db/page.ml: Bytes Char

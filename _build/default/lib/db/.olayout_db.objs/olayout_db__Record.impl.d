@@ -1,0 +1,1 @@
+lib/db/record.ml: Array Bytes Printf

@@ -1,0 +1,1 @@
+lib/db/recovery.ml: Bytes Disk Hashtbl List Page Wal

@@ -1,0 +1,1 @@
+lib/db/recovery.mli: Disk Wal

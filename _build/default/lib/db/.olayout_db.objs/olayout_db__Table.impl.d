@@ -1,0 +1,1 @@
+lib/db/table.ml: Array Btree Env Heap Option Printf Record Txn Wal

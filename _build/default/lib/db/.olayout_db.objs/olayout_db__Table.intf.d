@@ -1,0 +1,1 @@
+lib/db/table.mli: Env Heap Record Txn

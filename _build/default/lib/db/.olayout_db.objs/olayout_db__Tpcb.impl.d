@@ -1,0 +1,1 @@
+lib/db/tpcb.ml: Array Buffer Env Int64 List Lock Olayout_util Printf Record Table Txn

@@ -1,0 +1,1 @@
+lib/db/tpcb.mli: Env Hooks Lock Olayout_util

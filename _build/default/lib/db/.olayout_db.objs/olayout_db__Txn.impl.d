@@ -1,0 +1,1 @@
+lib/db/txn.ml: Hashtbl Hooks List Lock Printf Wal

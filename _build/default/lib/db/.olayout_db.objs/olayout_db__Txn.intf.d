@@ -1,0 +1,1 @@
+lib/db/txn.mli: Hooks Lock Wal

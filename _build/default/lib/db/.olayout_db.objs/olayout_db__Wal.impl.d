@@ -1,0 +1,1 @@
+lib/db/wal.ml: Bytes Hashtbl Hooks List

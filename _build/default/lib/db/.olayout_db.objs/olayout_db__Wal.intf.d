@@ -1,0 +1,1 @@
+lib/db/wal.mli: Hooks

@@ -1,0 +1,26 @@
+(** The simulated disk: a growable array of page images.
+
+    All I/O goes through here so the buffer pool and the log can report
+    device traffic to the hooks (which the OLTP harness turns into kernel
+    syscall episodes).  Reads of never-written pages return zeroed images,
+    like a sparse file. *)
+
+type t
+
+val create : Hooks.t -> t
+val allocate : t -> int
+(** Reserve a fresh page number. *)
+
+val n_pages : t -> int
+val read : t -> int -> Page.t
+(** A copy of the stored image. *)
+
+val write : t -> int -> Page.t -> unit
+(** Store a copy of the image. *)
+
+val reads : t -> int
+val writes : t -> int
+
+val crash_copy : t -> t
+(** An independent copy of the current on-device state (the recovery tests'
+    "surviving disk"): same pages, fresh I/O counters, null hooks. *)

@@ -1,0 +1,41 @@
+type op =
+  | Txn_begin
+  | Txn_commit of { log_bytes : int }
+  | Txn_abort
+  | Buffer_hit
+  | Buffer_miss
+  | Disk_read of { page : int }
+  | Disk_write of { page : int }
+  | Log_append of { bytes : int }
+  | Log_fsync of { bytes : int }
+  | Btree_search of { depth : int; found : bool }
+  | Btree_insert of { depth : int; splits : int }
+  | Heap_insert
+  | Heap_fetch
+  | Heap_update
+  | Lock_acquire of { waited : bool }
+  | Lock_release of { held : int }
+  | Page_touch of { page : int; off : int; len : int }
+
+type t = { on_op : op -> unit }
+
+let null = { on_op = (fun _ -> ()) }
+
+let op_name = function
+  | Txn_begin -> "txn_begin"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort -> "txn_abort"
+  | Buffer_hit -> "buffer_hit"
+  | Buffer_miss -> "buffer_miss"
+  | Disk_read _ -> "disk_read"
+  | Disk_write _ -> "disk_write"
+  | Log_append _ -> "log_append"
+  | Log_fsync _ -> "log_fsync"
+  | Btree_search _ -> "btree_search"
+  | Btree_insert _ -> "btree_insert"
+  | Heap_insert -> "heap_insert"
+  | Heap_fetch -> "heap_fetch"
+  | Heap_update -> "heap_update"
+  | Lock_acquire _ -> "lock_acquire"
+  | Lock_release _ -> "lock_release"
+  | Page_touch _ -> "page_touch"

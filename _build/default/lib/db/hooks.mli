@@ -1,0 +1,38 @@
+(** Instrumentation hooks: the bridge from real database execution to the
+    synthetic instruction stream.
+
+    Every significant engine operation reports a semantic event here.  The
+    OLTP harness ({!Olayout_oltp}) maps each event to a call-return episode
+    in the synthetic application binary (parameterized by the event's data —
+    B-tree depth drives descent-loop trip counts, buffer misses take the
+    miss path and enter the kernel, ...), and to data references for the
+    unified-L2 experiments.  With {!null} hooks the engine is just a small
+    standalone database, which is how its own unit tests run. *)
+
+type op =
+  | Txn_begin
+  | Txn_commit of { log_bytes : int }
+  | Txn_abort
+  | Buffer_hit
+  | Buffer_miss
+  | Disk_read of { page : int }
+  | Disk_write of { page : int }
+  | Log_append of { bytes : int }
+  | Log_fsync of { bytes : int }
+  | Btree_search of { depth : int; found : bool }
+  | Btree_insert of { depth : int; splits : int }
+  | Heap_insert
+  | Heap_fetch
+  | Heap_update
+  | Lock_acquire of { waited : bool }
+  | Lock_release of { held : int }
+  | Page_touch of { page : int; off : int; len : int }
+      (** A data-region reference: [len] bytes at offset [off] of [page]. *)
+
+type t = { on_op : op -> unit }
+
+val null : t
+(** Discards all events. *)
+
+val op_name : op -> string
+(** Short constructor name, for counters and tests. *)

@@ -1,0 +1,127 @@
+type mode = Shared | Exclusive
+type key = { space : int; item : int }
+
+type entry = { mutable holders : (int * mode) list }
+
+type t = {
+  hooks : Hooks.t;
+  locks : (key, entry) Hashtbl.t;
+  held : (int, key list ref) Hashtbl.t;  (* txn -> keys held *)
+  waiting_for : (int, int list) Hashtbl.t;  (* txn -> blocking txns *)
+  ever_waited : (int, unit) Hashtbl.t;  (* txns whose current request waited *)
+}
+
+let create hooks =
+  {
+    hooks;
+    locks = Hashtbl.create 1024;
+    held = Hashtbl.create 64;
+    waiting_for = Hashtbl.create 64;
+    ever_waited = Hashtbl.create 64;
+  }
+
+let entry t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some e -> e
+  | None ->
+      let e = { holders = [] } in
+      Hashtbl.add t.locks key e;
+      e
+
+let compatible requested held =
+  match (requested, held) with Shared, Shared -> true | _, _ -> false
+
+let note_held t txn key =
+  match Hashtbl.find_opt t.held txn with
+  | Some l -> l := key :: !l
+  | None -> Hashtbl.add t.held txn (ref [ key ])
+
+let grant t txn key mode e =
+  e.holders <- (txn, mode) :: e.holders;
+  note_held t txn key;
+  let waited = Hashtbl.mem t.ever_waited txn in
+  Hashtbl.remove t.ever_waited txn;
+  Hashtbl.remove t.waiting_for txn;
+  t.hooks.Hooks.on_op (Hooks.Lock_acquire { waited })
+
+let acquire t ~txn key mode =
+  let e = entry t key in
+  match List.assoc_opt txn e.holders with
+  | Some held_mode
+    when held_mode = Exclusive || mode = Shared ->
+      (* Reentrant; already strong enough. *)
+      `Granted
+  | Some _shared ->
+      (* Upgrade request: allowed only as sole holder. *)
+      let others = List.filter (fun (o, _) -> o <> txn) e.holders in
+      if others = [] then begin
+        e.holders <- [ (txn, Exclusive) ];
+        `Granted
+      end
+      else begin
+        Hashtbl.replace t.waiting_for txn (List.map fst others);
+        Hashtbl.replace t.ever_waited txn ();
+        `Wait
+      end
+  | None ->
+      let conflicting =
+        List.filter (fun (_, held_mode) -> not (compatible mode held_mode)) e.holders
+      in
+      if conflicting = [] then begin
+        grant t txn key mode e;
+        `Granted
+      end
+      else begin
+        Hashtbl.replace t.waiting_for txn (List.map fst conflicting);
+        Hashtbl.replace t.ever_waited txn ();
+        `Wait
+      end
+
+let release_all t ~txn =
+  let keys = match Hashtbl.find_opt t.held txn with Some l -> !l | None -> [] in
+  let released = ref 0 in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.locks key with
+      | Some e ->
+          let before = List.length e.holders in
+          e.holders <- List.filter (fun (o, _) -> o <> txn) e.holders;
+          if List.length e.holders < before then incr released;
+          if e.holders = [] then Hashtbl.remove t.locks key
+      | None -> ())
+    keys;
+  Hashtbl.remove t.held txn;
+  Hashtbl.remove t.waiting_for txn;
+  Hashtbl.remove t.ever_waited txn;
+  t.hooks.Hooks.on_op (Hooks.Lock_release { held = !released });
+  !released
+
+let holds t ~txn key mode =
+  match Hashtbl.find_opt t.locks key with
+  | None -> false
+  | Some e -> (
+      match List.assoc_opt txn e.holders with
+      | Some held_mode -> held_mode = Exclusive || mode = Shared
+      | None -> false)
+
+let held_count t ~txn =
+  match Hashtbl.find_opt t.held txn with Some l -> List.length !l | None -> 0
+
+let deadlocked t ~txn =
+  (* DFS from txn through the wait-for graph looking for a path back. *)
+  let visited = Hashtbl.create 16 in
+  let rec reachable from =
+    if from = txn then true
+    else if Hashtbl.mem visited from then false
+    else begin
+      Hashtbl.add visited from ();
+      match Hashtbl.find_opt t.waiting_for from with
+      | Some blockers -> List.exists reachable blockers
+      | None -> false
+    end
+  in
+  match Hashtbl.find_opt t.waiting_for txn with
+  | Some blockers -> List.exists reachable blockers
+  | None -> false
+
+let waiters t = Hashtbl.length t.waiting_for

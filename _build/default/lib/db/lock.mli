@@ -1,0 +1,39 @@
+(** Two-phase-locking lock manager: shared/exclusive locks on abstract
+    resources (rows, tables).
+
+    Acquisition is non-blocking at this layer: a conflicting request returns
+    [`Wait] and the caller — the OLTP server's fiber scheduler — suspends
+    the transaction and retries later.  This reproduces the workload
+    behaviour the TPC-B mix is famous for: all concurrent transactions
+    update their branch row, so branch-row conflicts serialize commits and
+    interleave the server processes' instruction streams.
+
+    A wait-for graph is maintained for the conflicting requests seen since
+    the last grant, with a cycle detector for deadlock tests (the TPC-B
+    access order account->teller->branch is deadlock-free, which a property
+    test verifies). *)
+
+type mode = Shared | Exclusive
+type key = { space : int; item : int }
+
+type t
+
+val create : Hooks.t -> t
+
+val acquire : t -> txn:int -> key -> mode -> [ `Granted | `Wait ]
+(** Reentrant: a holder re-requesting a compatible-or-weaker mode is granted
+    immediately; a sole shared holder may upgrade to exclusive.  Reports
+    [Lock_acquire] with whether the request had to wait at least once. *)
+
+val release_all : t -> txn:int -> int
+(** Release everything [txn] holds (commit/abort time); returns the count
+    and reports [Lock_release]. *)
+
+val holds : t -> txn:int -> key -> mode -> bool
+val held_count : t -> txn:int -> int
+
+val deadlocked : t -> txn:int -> bool
+(** Is [txn] on a cycle of the current wait-for graph? *)
+
+val waiters : t -> int
+(** Transactions currently recorded as waiting. *)

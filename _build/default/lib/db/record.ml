@@ -1,0 +1,27 @@
+type schema = { name : string; fields : int; pad : int }
+
+let row_bytes s = (8 * s.fields) + s.pad
+
+let check_field s i =
+  if i < 0 || i >= s.fields then
+    invalid_arg (Printf.sprintf "Record: field %d out of range for %s" i s.name)
+
+let encode s values =
+  if Array.length values <> s.fields then
+    invalid_arg (Printf.sprintf "Record.encode: %s expects %d fields" s.name s.fields);
+  let b = Bytes.make (row_bytes s) '\000' in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) v) values;
+  b
+
+let decode s b =
+  if Bytes.length b <> row_bytes s then
+    invalid_arg (Printf.sprintf "Record.decode: bad size for %s" s.name);
+  Array.init s.fields (fun i -> Bytes.get_int64_le b (8 * i))
+
+let get s b i =
+  check_field s i;
+  Bytes.get_int64_le b (8 * i)
+
+let set s b i v =
+  check_field s i;
+  Bytes.set_int64_le b (8 * i) v

@@ -1,0 +1,21 @@
+(** Fixed-width row encoding.
+
+    A schema is a number of int64 fields plus trailing pad bytes (bringing
+    rows to realistic sizes — the TPC-B account row is 100 bytes).  Rows
+    encode little-endian; updates never change a row's size, which keeps
+    slotted-page updates in place. *)
+
+type schema = { name : string; fields : int; pad : int }
+
+val row_bytes : schema -> int
+val encode : schema -> int64 array -> bytes
+(** @raise Invalid_argument on field-count mismatch. *)
+
+val decode : schema -> bytes -> int64 array
+(** @raise Invalid_argument on size mismatch. *)
+
+val get : schema -> bytes -> int -> int64
+(** Read one field without decoding the whole row. *)
+
+val set : schema -> bytes -> int -> int64 -> unit
+(** Write one field in place. *)

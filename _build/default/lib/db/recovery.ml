@@ -1,0 +1,83 @@
+(* Ensure [page] has at least [slot] slots, padding with tombstones so a
+   committed record lands at its original slot index. *)
+let pad_to page slot =
+  while Page.n_slots page < slot do
+    match Page.insert page (Bytes.make 1 '\000') with
+    | Some s -> ignore (Page.delete page s)
+    | None -> failwith "Recovery: page overflow while padding"
+  done
+
+let apply disk applied = function
+  | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ()
+  | Wal.Update { page; slot; after; _ } ->
+      let p = Disk.read disk page in
+      if Page.read p slot <> Some after then begin
+        if not (Page.update p slot after) then begin
+          (* The slot never made it to disk at its full size; recreate. *)
+          pad_to p slot;
+          if Page.n_slots p = slot then ignore (Page.insert p after)
+          else ignore (Page.update p slot after)
+        end;
+        Disk.write disk page p;
+        incr applied
+      end
+  | Wal.Insert { page; slot; image; _ } ->
+      let p = Disk.read disk page in
+      if Page.read p slot <> Some image then begin
+        pad_to p slot;
+        if Page.n_slots p = slot then begin
+          match Page.insert p image with
+          | Some s when s = slot -> ()
+          | Some _ | None -> failwith "Recovery: insert replay misplaced"
+        end
+        else if not (Page.update p slot image) then begin
+          ignore (Page.delete p slot);
+          failwith "Recovery: insert replay could not restore slot"
+        end;
+        Disk.write disk page p;
+        incr applied
+      end
+
+let redo wal disk =
+  let applied = ref 0 in
+  Wal.replay wal ~committed_only:true ~redo:(apply disk applied);
+  !applied
+
+(* Roll back on-disk effects of transactions that never durably committed
+   (the pool steals dirty pages, so mid-transaction updates can reach the
+   disk before a crash).  Before-images are applied newest-first. *)
+let undo wal disk =
+  let durable = ref [] in
+  Wal.replay wal ~committed_only:false ~redo:(fun r -> durable := r :: !durable);
+  let newest_first = !durable in
+  let committed = Hashtbl.create 64 in
+  List.iter
+    (fun r -> match r with Wal.Commit { txn } -> Hashtbl.replace committed txn () | _ -> ())
+    newest_first;
+  let applied = ref 0 in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem committed (Wal.txn_of r)) then
+        match r with
+        | Wal.Update { page; slot; before; after; _ } ->
+            let p = Disk.read disk page in
+            if Page.read p slot = Some after then begin
+              ignore (Page.update p slot before);
+              Disk.write disk page p;
+              incr applied
+            end
+        | Wal.Insert { page; slot; image; _ } ->
+            let p = Disk.read disk page in
+            if Page.read p slot = Some image then begin
+              ignore (Page.delete p slot);
+              Disk.write disk page p;
+              incr applied
+            end
+        | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
+    newest_first;
+  !applied
+
+let recover wal disk =
+  let undone = undo wal disk in
+  let redone = redo wal disk in
+  (redone, undone)

@@ -1,0 +1,31 @@
+(** Crash recovery: physical redo of the write-ahead log onto a surviving
+    disk image.
+
+    After a crash, the disk holds an arbitrary mixture of flushed and stale
+    pages (the buffer pool's dirty contents are lost), while the WAL holds
+    every change of every *durably committed* transaction.  [redo] replays
+    those changes in log order, skipping records whose after-image is already in place (without page LSNs recovery is *convergent* rather than strictly idempotent):
+
+    - an [Update] whose page already shows the after-image is skipped;
+    - an [Insert] whose slot already exists is verified/overwritten;
+    - inserts by never-committed transactions that occupied earlier slots of
+      the same page are re-created as tombstoned placeholders so committed
+      record ids stay stable.
+
+    Because the buffer pool steals (dirty pages of still-active
+    transactions can reach the disk), recovery also rolls back the on-disk
+    effects of transactions with no durable commit, applying before-images
+    newest-first — ARIES' winners/losers split in miniature.  Exercised by
+    the crash-consistency tests in [test/test_db.ml]. *)
+
+val redo : Wal.t -> Disk.t -> int
+(** Replay durable committed records onto the disk; returns the number of
+    records applied (skipped-idempotent records not counted). *)
+
+val undo : Wal.t -> Disk.t -> int
+(** Roll back on-disk effects of transactions with no durable commit
+    (before-images applied newest-first); returns records applied. *)
+
+val recover : Wal.t -> Disk.t -> int * int
+(** Full recovery: undo losers, then redo winners.  Returns
+    [(redone, undone)]. *)

@@ -1,0 +1,76 @@
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  begin_lsn : int;
+  mutable state : state;
+  mutable undo : (unit -> unit) list;
+  mutable log_bytes : int;
+}
+
+type manager = {
+  wal : Wal.t;
+  locks : Lock.t;
+  hooks : Hooks.t;
+  mutable next_id : int;
+  mutable active : int;
+  active_txns : (int, t) Hashtbl.t;
+}
+
+let manager wal locks hooks =
+  { wal; locks; hooks; next_id = 0; active = 0; active_txns = Hashtbl.create 16 }
+
+let begin_ m =
+  let id = m.next_id in
+  m.next_id <- id + 1;
+  m.active <- m.active + 1;
+  m.hooks.Hooks.on_op Hooks.Txn_begin;
+  let begin_lsn = Wal.append m.wal (Wal.Begin { txn = id }) in
+  let t = { id; begin_lsn; state = Active; undo = []; log_bytes = 0 } in
+  t.log_bytes <- t.log_bytes + Wal.record_bytes (Wal.Begin { txn = id });
+  Hashtbl.replace m.active_txns id t;
+  t
+
+let require_active t what =
+  match t.state with
+  | Active -> ()
+  | Committed | Aborted ->
+      invalid_arg (Printf.sprintf "Txn.%s: transaction %d not active" what t.id)
+
+let log_update m t record ~undo =
+  require_active t "log_update";
+  t.log_bytes <- t.log_bytes + Wal.record_bytes record;
+  ignore (Wal.append m.wal record);
+  t.undo <- undo :: t.undo
+
+let commit m t =
+  require_active t "commit";
+  ignore (Wal.append m.wal (Wal.Commit { txn = t.id }));
+  Wal.force m.wal;
+  ignore (Lock.release_all m.locks ~txn:t.id);
+  t.state <- Committed;
+  m.active <- m.active - 1;
+  Hashtbl.remove m.active_txns t.id;
+  m.hooks.Hooks.on_op (Hooks.Txn_commit { log_bytes = t.log_bytes })
+
+let abort m t =
+  require_active t "abort";
+  List.iter (fun f -> f ()) t.undo;
+  t.undo <- [];
+  ignore (Wal.append m.wal (Wal.Abort { txn = t.id }));
+  ignore (Lock.release_all m.locks ~txn:t.id);
+  t.state <- Aborted;
+  m.active <- m.active - 1;
+  Hashtbl.remove m.active_txns t.id;
+  m.hooks.Hooks.on_op Hooks.Txn_abort
+
+let locks m = m.locks
+let active m = m.active
+
+let oldest_active_begin m =
+  Hashtbl.fold
+    (fun _ t acc ->
+      match acc with
+      | None -> Some t.begin_lsn
+      | Some lsn -> Some (min lsn t.begin_lsn))
+    m.active_txns None

@@ -1,0 +1,42 @@
+(** Transactions: strict two-phase locking, WAL-protected updates, undo on
+    abort.
+
+    The manager hands out transaction handles; data operations performed
+    through {!Table} register undo actions and WAL records here.  Commit
+    forces the log (group commit) and releases all locks; abort applies the
+    undo actions in reverse order, logs an abort record and releases. *)
+
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  begin_lsn : int;  (** LSN of this transaction's [Begin] record *)
+  mutable state : state;
+  mutable undo : (unit -> unit) list;  (** newest first *)
+  mutable log_bytes : int;
+}
+
+type manager
+
+val manager : Wal.t -> Lock.t -> Hooks.t -> manager
+
+val begin_ : manager -> t
+(** Start a transaction; logs [Begin] and reports [Txn_begin]. *)
+
+val log_update : manager -> t -> Wal.record -> undo:(unit -> unit) -> unit
+(** Register one protected change: append the WAL record and stash the undo
+    action.  @raise Invalid_argument if the transaction is not active. *)
+
+val commit : manager -> t -> unit
+(** Log [Commit], force the WAL, release locks; reports [Txn_commit]. *)
+
+val abort : manager -> t -> unit
+(** Apply undo actions newest-first, log [Abort], release locks. *)
+
+val locks : manager -> Lock.t
+val active : manager -> int
+(** Number of transactions begun and not yet finished. *)
+
+val oldest_active_begin : manager -> int option
+(** Smallest [begin_lsn] among active transactions — the safe log
+    truncation bound for {!Env.checkpoint}. *)

@@ -1,0 +1,94 @@
+type record =
+  | Begin of { txn : int }
+  | Update of { txn : int; table : int; page : int; slot : int; before : bytes; after : bytes }
+  | Insert of { txn : int; table : int; page : int; slot : int; image : bytes }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+
+type t = {
+  hooks : Hooks.t;
+  mutable rev_records : record list;  (* newest first, from base_lsn *)
+  mutable base_lsn : int;             (* lsn of the oldest retained record *)
+  mutable next_lsn : int;
+  mutable durable : int;
+  mutable pending_bytes : int;
+  mutable forces : int;
+  mutable appended_bytes : int;
+}
+
+let create hooks =
+  {
+    hooks;
+    rev_records = [];
+    base_lsn = 0;
+    next_lsn = 0;
+    durable = -1;
+    pending_bytes = 0;
+    forces = 0;
+    appended_bytes = 0;
+  }
+
+let header_bytes = 24 (* lsn, txn, kind, length *)
+
+let record_bytes = function
+  | Begin _ | Commit _ | Abort _ -> header_bytes
+  | Update { before; after; _ } ->
+      header_bytes + 12 + Bytes.length before + Bytes.length after
+  | Insert { image; _ } -> header_bytes + 12 + Bytes.length image
+
+let append t r =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  t.rev_records <- r :: t.rev_records;
+  let bytes = record_bytes r in
+  t.pending_bytes <- t.pending_bytes + bytes;
+  t.appended_bytes <- t.appended_bytes + bytes;
+  t.hooks.Hooks.on_op (Hooks.Log_append { bytes });
+  lsn
+
+let force t =
+  if t.durable < t.next_lsn - 1 then begin
+    t.hooks.Hooks.on_op (Hooks.Log_fsync { bytes = t.pending_bytes });
+    t.pending_bytes <- 0;
+    t.durable <- t.next_lsn - 1;
+    t.forces <- t.forces + 1
+  end
+
+let durable_lsn t = t.durable
+let next_lsn t = t.next_lsn
+let forces t = t.forces
+let appended_bytes t = t.appended_bytes
+let records t = List.rev t.rev_records
+
+let base_lsn t = t.base_lsn
+
+let truncate t ~keep_from =
+  if keep_from > t.durable + 1 then
+    invalid_arg "Wal.truncate: cannot truncate beyond the durable prefix";
+  if keep_from > t.base_lsn then begin
+    let kept =
+      List.filteri
+        (fun i _ -> t.base_lsn + i >= keep_from)
+        (List.rev t.rev_records)
+    in
+    t.rev_records <- List.rev kept;
+    t.base_lsn <- keep_from
+  end
+
+(* exposed: recovery classifies records by transaction *)
+let txn_of = function
+  | Begin { txn } | Commit { txn } | Abort { txn } -> txn
+  | Update { txn; _ } | Insert { txn; _ } -> txn
+
+let replay t ~redo ~committed_only =
+  let durable =
+    List.filteri (fun i _ -> t.base_lsn + i <= t.durable) (records t)
+  in
+  let committed = Hashtbl.create 64 in
+  List.iter
+    (fun r -> match r with Commit { txn } -> Hashtbl.replace committed txn () | _ -> ())
+    durable;
+  List.iter
+    (fun r ->
+      if (not committed_only) || Hashtbl.mem committed (txn_of r) then redo r)
+    durable

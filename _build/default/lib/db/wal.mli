@@ -1,0 +1,59 @@
+(** Write-ahead log.
+
+    Records are appended to an in-memory tail buffer and forced to the
+    "device" on commit (group commit: one fsync flushes everything pending,
+    so concurrent transactions share forces, as in real engines and in the
+    paper's workload tuning).  The full record list is retained for the
+    recovery tests. *)
+
+type record =
+  | Begin of { txn : int }
+  | Update of { txn : int; table : int; page : int; slot : int; before : bytes; after : bytes }
+  | Insert of { txn : int; table : int; page : int; slot : int; image : bytes }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+
+type t
+
+val create : Hooks.t -> t
+
+val append : t -> record -> int
+(** Append a record, returning its LSN.  Reports [Log_append] with the
+    record's encoded size. *)
+
+val force : t -> unit
+(** Flush the tail to the device ([Log_fsync]); a no-op when already
+    durable. *)
+
+val record_bytes : record -> int
+(** Encoded size (header + payload), as charged to [Log_append]. *)
+
+val durable_lsn : t -> int
+(** Highest LSN guaranteed on the device; -1 initially. *)
+
+val next_lsn : t -> int
+val forces : t -> int
+val appended_bytes : t -> int
+
+val records : t -> record list
+(** All *retained* records in append order (recovery / tests). *)
+
+val base_lsn : t -> int
+(** LSN of the oldest retained record (0 until truncated). *)
+
+val truncate : t -> keep_from:int -> unit
+(** Drop records before [keep_from] (checkpointing).  The caller must
+    guarantee no retained page state depends on them — {!Env.checkpoint}
+    keeps from the oldest active transaction's [Begin].
+    @raise Invalid_argument when truncating into the non-durable tail. *)
+
+val txn_of : record -> int
+(** The transaction a record belongs to. *)
+
+val replay :
+  t ->
+  redo:(record -> unit) ->
+  committed_only:bool ->
+  unit
+(** Drive recovery: calls [redo] on each *durable* record, skipping — when
+    [committed_only] — records of transactions with no durable [Commit]. *)

@@ -1,0 +1,1 @@
+lib/exec/render.ml: Olayout_core Run

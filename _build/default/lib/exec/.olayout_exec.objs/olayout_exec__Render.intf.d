@@ -1,0 +1,1 @@
+lib/exec/render.mli: Olayout_core Run Walk

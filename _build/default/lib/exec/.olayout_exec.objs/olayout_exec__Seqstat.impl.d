@@ -1,0 +1,1 @@
+lib/exec/seqstat.ml: Olayout_metrics Run

@@ -1,0 +1,1 @@
+lib/exec/seqstat.mli: Olayout_metrics Run

@@ -1,0 +1,1 @@
+lib/exec/walk.ml: Array Block Hashtbl List Olayout_ir Olayout_util Proc Prog

@@ -1,0 +1,1 @@
+lib/exec/walk.mli: Block Olayout_ir Olayout_util Prog

@@ -1,0 +1,36 @@
+module Placement = Olayout_core.Placement
+
+type merger = {
+  emit : Run.t -> unit;
+  mutable owner : Run.owner;
+  mutable addr : int;  (* start of pending run; -1 when none *)
+  mutable len : int;   (* pending instructions *)
+}
+
+let merger ~emit = { emit; owner = Run.App; addr = -1; len = 0 }
+
+let flush m =
+  if m.addr >= 0 && m.len > 0 then
+    m.emit { Run.owner = m.owner; addr = m.addr; len = m.len };
+  m.addr <- -1;
+  m.len <- 0
+
+let feed m owner ~addr ~len =
+  if len > 0 then
+    if m.addr >= 0 && m.owner = owner && addr = m.addr + (m.len * 4) then
+      m.len <- m.len + len
+    else begin
+      flush m;
+      m.owner <- owner;
+      m.addr <- addr;
+      m.len <- len
+    end
+
+type t = { placement : Placement.t; owner : Run.owner; m : merger }
+
+let create ~placement ~owner m = { placement; owner; m }
+
+let sink t ~proc ~block ~arm =
+  let addr = Placement.block_addr t.placement ~proc ~block in
+  let len = Placement.exec_instrs t.placement ~proc ~block ~arm in
+  feed t.m t.owner ~addr ~len

@@ -1,0 +1,28 @@
+(** Rendering block events to instruction-fetch address runs under a
+    placement.
+
+    One {!merger} is shared by all programs feeding one trace (the
+    application binary and the kernel binary), so a kernel entry or a
+    context switch correctly breaks the application's current fetch run.
+    One {!t} exists per (program, placement); attach its {!sink} to the
+    walker that executes that program. *)
+
+type merger
+
+val merger : emit:(Run.t -> unit) -> merger
+(** Create a run merger.  [emit] receives maximal sequential runs. *)
+
+val feed : merger -> Run.owner -> addr:int -> len:int -> unit
+(** Append [len] instructions fetched from [addr]; merges with the pending
+    run when contiguous and same-owner. *)
+
+val flush : merger -> unit
+(** Emit any pending run (call at end of trace and at context switches). *)
+
+type t
+
+val create : placement:Olayout_core.Placement.t -> owner:Run.owner -> merger -> t
+
+val sink : t -> Walk.sink
+(** Walker sink rendering each block event to its fetch run under the
+    placement. *)

@@ -1,0 +1,24 @@
+module Histogram = Olayout_metrics.Histogram
+
+type per = { hist : Histogram.t; mutable instrs : int; mutable runs : int }
+
+type t = { app : per; kernel : per }
+
+let mk_per cap = { hist = Histogram.create ~cap (); instrs = 0; runs = 0 }
+let create ?(cap = 33) () = { app = mk_per cap; kernel = mk_per cap }
+
+let per t = function Run.App -> t.app | Run.Kernel -> t.kernel
+
+let observe t (r : Run.t) =
+  let p = per t r.owner in
+  Histogram.add p.hist r.len;
+  p.instrs <- p.instrs + r.len;
+  p.runs <- p.runs + 1
+
+let mean t ~owner =
+  let p = per t owner in
+  if p.runs = 0 then 0.0 else float_of_int p.instrs /. float_of_int p.runs
+
+let histogram t ~owner = (per t owner).hist
+let total_instrs t ~owner = (per t owner).instrs
+let total_runs t ~owner = (per t owner).runs

@@ -1,0 +1,18 @@
+(** Sequential-run statistics (paper Figure 8).
+
+    Records the distribution of the number of sequentially fetched
+    instructions between control breaks, per stream owner. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] bounds the histogram's last bucket (default 33, matching the
+    paper's Figure 8b x-axis). *)
+
+val observe : t -> Run.t -> unit
+(** Record one run. *)
+
+val mean : t -> owner:Run.owner -> float
+val histogram : t -> owner:Run.owner -> Olayout_metrics.Histogram.t
+val total_instrs : t -> owner:Run.owner -> int
+val total_runs : t -> owner:Run.owner -> int

@@ -1,0 +1,90 @@
+open Olayout_ir
+module Rng = Olayout_util.Rng
+
+type sink = proc:int -> block:int -> arm:int -> unit
+
+type t = {
+  prog : Prog.t;
+  rng : Rng.t;
+  mutable sinks : sink list;  (* kept in registration order *)
+  mutable instrs : int;
+  mutable blocks : int;
+}
+
+let create ~prog ~rng = { prog; rng; sinks = []; instrs = 0; blocks = 0 }
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+let max_depth = 64
+
+let call t ?(hints = []) pid =
+  let hint_tbl =
+    match hints with
+    | [] -> None
+    | hs ->
+        let tbl = Hashtbl.create 8 in
+        List.iter (fun (b, n) -> Hashtbl.replace tbl b (ref n, n)) hs;
+        Some tbl
+  in
+  (* Iterative within a procedure; recursive only across call depth. *)
+  let rec walk_proc pid depth hint_tbl =
+    if depth > max_depth then invalid_arg "Walk.call: call depth exceeded (recursion?)";
+    let p = Prog.proc t.prog pid in
+    let record (b : Block.t) arm =
+      t.blocks <- t.blocks + 1;
+      t.instrs <- t.instrs + Block.source_instrs b;
+      List.iter (fun sink -> sink ~proc:pid ~block:b.Block.id ~arm) t.sinks
+    in
+    let current = ref (Some p.Proc.entry) in
+    while !current <> None do
+      let bid = match !current with Some b -> b | None -> assert false in
+      let b = Proc.block p bid in
+      match b.Block.term with
+      | Block.Fall d | Block.Jump d ->
+          record b 0;
+          current := Some d
+      | Block.Cond { taken; fall; p_taken } ->
+          let hinted =
+            match hint_tbl with
+            | Some tbl -> Hashtbl.find_opt tbl bid
+            | None -> None
+          in
+          let choose_taken =
+            match hinted with
+            | Some (remaining, reset) ->
+                let hot_is_taken = p_taken >= 0.5 in
+                if !remaining > 0 then begin
+                  decr remaining;
+                  hot_is_taken
+                end
+                else begin
+                  remaining := reset;
+                  not hot_is_taken
+                end
+            | None -> Rng.bool t.rng p_taken
+          in
+          if choose_taken then begin
+            record b 0;
+            current := Some taken
+          end
+          else begin
+            record b 1;
+            current := Some fall
+          end
+      | Block.Call { callee; ret } ->
+          record b 0;
+          walk_proc callee (depth + 1) None;
+          current := Some ret
+      | Block.Ijump targets ->
+          let weighted = Array.mapi (fun i (_, w) -> (i, w)) targets in
+          let arm = Rng.pick_weighted t.rng weighted in
+          record b arm;
+          current := Some (fst targets.(arm))
+      | Block.Ret | Block.Halt ->
+          record b 0;
+          current := None
+    done
+  in
+  walk_proc pid 0 hint_tbl
+
+let instrs_executed t = t.instrs
+let blocks_executed t = t.blocks

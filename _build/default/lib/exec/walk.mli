@@ -1,0 +1,38 @@
+(** Deterministic stochastic walker over a program's control-flow graphs.
+
+    The walker produces the *block-level* execution path of a workload.  The
+    path depends only on the program, the seed and the sequence of
+    [call]/hint requests — never on any placement — so the same path can be
+    rendered to address traces under the baseline and every optimized layout
+    and compared apples-to-apples (the methodological core of the
+    reproduction; see DESIGN.md §2).
+
+    Conditional branches follow their ground-truth probability via the
+    walker's RNG unless a loop hint pins the iteration count (used to let
+    real database state — B-tree depth, buffer hits — drive the path).
+    Sinks observe every executed block with its chosen control arm. *)
+
+open Olayout_ir
+
+type sink = proc:int -> block:int -> arm:int -> unit
+
+type t
+
+val create : prog:Prog.t -> rng:Olayout_util.Rng.t -> t
+
+val add_sink : t -> sink -> unit
+(** Sinks are invoked in registration order for every block event. *)
+
+val call : t -> ?hints:(Block.id * int) list -> int -> unit
+(** [call t proc] performs one complete call-return episode of [proc],
+    walking through its callees.  A hint [(b, n)] makes the conditional
+    terminator of block [b] choose its more probable arm exactly [n]
+    consecutive times before taking the other arm (pinning a loop's trip
+    count), then rearms.
+    @raise Invalid_argument if call depth exceeds 64 (recursion guard). *)
+
+val instrs_executed : t -> int
+(** Nominal instructions executed so far (source-order encoding); used for
+    time-based scheduling (timer interrupts, profiler sampling periods). *)
+
+val blocks_executed : t -> int

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Context Olayout_cachesim Olayout_codegen Olayout_core Olayout_exec Olayout_oltp Olayout_perf Olayout_profile Printf Table

@@ -1,0 +1,1 @@
+lib/harness/context.ml: List Olayout_core Olayout_exec Olayout_oltp Olayout_profile

@@ -1,0 +1,1 @@
+lib/harness/context.mli: Olayout_core Olayout_exec Olayout_oltp Olayout_profile

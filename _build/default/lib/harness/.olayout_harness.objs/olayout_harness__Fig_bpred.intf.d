@@ -1,0 +1,1 @@
+lib/harness/fig_bpred.mli: Context Olayout_perf Table

@@ -1,0 +1,1 @@
+lib/harness/fig_coloring.ml: Array Context Olayout_cachesim Olayout_core Olayout_exec Olayout_ir Olayout_profile Table

@@ -1,0 +1,1 @@
+lib/harness/fig_coloring.mli: Context Table

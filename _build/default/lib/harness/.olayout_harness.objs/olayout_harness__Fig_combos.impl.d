@@ -1,0 +1,1 @@
+lib/harness/fig_combos.ml: Context Fig_line_sweep List Olayout_cachesim Olayout_core Olayout_exec Printf Table

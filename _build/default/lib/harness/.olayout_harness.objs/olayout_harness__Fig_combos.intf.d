@@ -1,0 +1,1 @@
+lib/harness/fig_combos.mli: Context Olayout_core Table

@@ -1,0 +1,1 @@
+lib/harness/fig_dss.ml: Block Context List Olayout_cachesim Olayout_codegen Olayout_core Olayout_exec Olayout_ir Olayout_metrics Olayout_oltp Olayout_profile Printf Proc Prog Table

@@ -1,0 +1,1 @@
+lib/harness/fig_exec_time.ml: Context List Olayout_core Olayout_perf Printf Table

@@ -1,0 +1,1 @@
+lib/harness/fig_exec_time.mli: Context Olayout_core Olayout_perf Table

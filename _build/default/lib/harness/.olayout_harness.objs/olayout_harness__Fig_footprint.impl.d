@@ -1,0 +1,1 @@
+lib/harness/fig_footprint.ml: Block Context List Olayout_ir Olayout_metrics Olayout_profile Printf Proc Prog Table

@@ -1,0 +1,1 @@
+lib/harness/fig_joint.ml: Context Olayout_cachesim Olayout_core Olayout_profile Printf Table

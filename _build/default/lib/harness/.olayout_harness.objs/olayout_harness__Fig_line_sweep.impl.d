@@ -1,0 +1,1 @@
+lib/harness/fig_line_sweep.ml: Context List Olayout_cachesim Olayout_core Olayout_exec Printf Table

@@ -1,0 +1,1 @@
+lib/harness/fig_line_sweep.mli: Context Table

@@ -1,0 +1,1 @@
+lib/harness/fig_memsys.ml: Context Olayout_core Olayout_memsim Table

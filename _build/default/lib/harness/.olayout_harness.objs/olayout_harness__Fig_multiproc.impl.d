@@ -1,0 +1,1 @@
+lib/harness/fig_multiproc.ml: Array Context List Olayout_cachesim Olayout_core Table

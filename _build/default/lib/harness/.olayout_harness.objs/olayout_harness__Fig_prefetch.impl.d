@@ -1,0 +1,1 @@
+lib/harness/fig_prefetch.ml: Context List Olayout_cachesim Olayout_core Olayout_exec Table

@@ -1,0 +1,1 @@
+lib/harness/fig_prefetch.mli: Context Table

@@ -1,0 +1,1 @@
+lib/harness/fig_sequences.ml: Context List Olayout_core Olayout_exec Olayout_metrics Olayout_profile Printf Table

@@ -1,0 +1,1 @@
+lib/harness/fig_sequences.mli: Context Table

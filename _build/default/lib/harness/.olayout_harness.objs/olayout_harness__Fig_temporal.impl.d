@@ -1,0 +1,1 @@
+lib/harness/fig_temporal.ml: Array Context List Olayout_cachesim Olayout_codegen Olayout_core Olayout_exec Olayout_ir Olayout_oltp Olayout_profile Table

@@ -1,0 +1,1 @@
+lib/harness/fig_usage.ml: Context List Olayout_cachesim Olayout_core Olayout_exec Olayout_metrics Printf Table

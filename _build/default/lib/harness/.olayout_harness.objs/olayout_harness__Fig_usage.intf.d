@@ -1,0 +1,1 @@
+lib/harness/fig_usage.mli: Context Table

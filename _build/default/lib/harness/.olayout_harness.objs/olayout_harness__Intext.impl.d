@@ -1,0 +1,1 @@
+lib/harness/intext.ml: Context Olayout_cachesim Olayout_core Olayout_exec Olayout_memsim Printf Table

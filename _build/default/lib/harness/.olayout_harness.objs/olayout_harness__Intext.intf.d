@@ -1,0 +1,1 @@
+lib/harness/intext.mli: Context Table

@@ -1,0 +1,37 @@
+(** Design-choice ablations beyond the paper's figures (DESIGN.md §4):
+
+    - kernel layout: optimizing the OS binary too (paper §5: only ~3.5%,
+      because kernel time is a small share);
+    - CFA (software trace cache): the paper implemented it and found no
+      gain for OLTP because the hot-trace footprint exceeds any reasonable
+      reserved cache fraction;
+    - stock-Spike hot/cold splitting vs the paper's fine-grain splitting;
+    - profile quality: layouts driven by a PC-sampling profile instead of
+      exact instrumentation counts;
+    - hot-target alignment: starting hot segments on cache-line boundaries
+      (padding vs fetch efficiency). *)
+
+type result = {
+  (* kernel ablation: combined misses at 64 KB and 21364-sim cycles *)
+  kernel_base_misses : int;
+  kernel_opt_misses : int;
+  kernel_base_cycles : float;
+  kernel_opt_cycles : float;
+  (* CFA at a 64 KB cache *)
+  cfa_misses : int;
+  all_misses_64k : int;
+  hot_90_bytes : int;  (** bytes of hottest code covering 90% of execution *)
+  (* hot/cold vs fine-grain at 64 and 128 KB *)
+  hotcold_64k : int;
+  hotcold_128k : int;
+  fine_64k : int;
+  fine_128k : int;
+  (* sampled-profile layout at 64 KB *)
+  sampled_misses : int;
+  exact_misses : int;
+  (* hot-segment line alignment at 64 KB *)
+  hot_aligned_misses : int;
+}
+
+val run : Context.t -> result
+val tables : result -> Table.t list

@@ -1,0 +1,81 @@
+module Placement = Olayout_core.Placement
+module Profile = Olayout_profile.Profile
+module Spike = Olayout_core.Spike
+module Run = Olayout_exec.Run
+module Workload = Olayout_oltp.Workload
+module Server = Olayout_oltp.Server
+
+type scale = Quick | Full
+
+type t = {
+  scale : scale;
+  seed : int;
+  workload : Workload.t;
+  app_profile : Profile.t;
+  kernel_profile : Profile.t;
+  mutable placements : (Spike.combo * Placement.t) list;
+  kernel_base : Placement.t;
+  mutable kernel_optimized : Placement.t option;
+}
+
+let train_txns = function Quick -> 150 | Full -> 2000
+let measured_txns_of = function Quick -> 100 | Full -> 1000
+
+let create ?(scale = Full) ?(seed = 7) () =
+  let workload = Workload.create ~seed () in
+  let app_profile, kernel_profile =
+    Workload.train workload ~txns:(train_txns scale) ~seed:1 ()
+  in
+  {
+    scale;
+    seed;
+    workload;
+    app_profile;
+    kernel_profile;
+    placements = [];
+    kernel_base = Workload.base_kernel workload;
+    kernel_optimized = None;
+  }
+
+let scale t = t.scale
+let workload t = t.workload
+let app_profile t = t.app_profile
+let kernel_profile t = t.kernel_profile
+
+let placement t combo =
+  match List.assoc_opt combo t.placements with
+  | Some p -> p
+  | None ->
+      let p = Spike.optimize t.app_profile combo in
+      t.placements <- (combo, p) :: t.placements;
+      p
+
+let kernel_base t = t.kernel_base
+
+let kernel_optimized t =
+  match t.kernel_optimized with
+  | Some p -> p
+  | None ->
+      let p = Spike.optimize t.kernel_profile Spike.All in
+      t.kernel_optimized <- Some p;
+      p
+
+let measured_txns t = measured_txns_of t.scale
+
+let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~renders () =
+  let txns = match txns with Some n -> n | None -> measured_txns t in
+  let kernel_placement =
+    match kernel_placement with Some p -> p | None -> t.kernel_base
+  in
+  let render_specs =
+    List.map
+      (fun (app_placement, emit) -> { Server.app_placement; kernel_placement; emit })
+      renders
+  in
+  Server.run ~app:(Workload.app t.workload) ~kernel:(Workload.kernel t.workload)
+    ~txns ~seed:1009 ~renders:render_specs ?on_data ?app_sinks ?on_switch ()
+
+let measure t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~renders () =
+  measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch
+    ~renders:(List.map (fun (combo, emit) -> (placement t combo, emit)) renders)
+    ()

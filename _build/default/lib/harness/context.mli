@@ -1,0 +1,63 @@
+(** Shared experiment context: binaries, training profiles, and the
+    placements for every optimization combination.
+
+    Building a context runs the profiling phase once; every figure then
+    reuses the same profiles and placements, and runs its own measurement
+    execution with a fresh seed (train seed 1, measurement seed 1009 —
+    the paper's 2000-transaction profile vs separate evaluation runs). *)
+
+module Placement = Olayout_core.Placement
+module Profile = Olayout_profile.Profile
+module Spike = Olayout_core.Spike
+module Run = Olayout_exec.Run
+
+type scale = Quick | Full
+(** [Quick] shrinks transaction counts for tests; [Full] is the bench
+    default (2000 training and 1000 measured transactions). *)
+
+type t
+
+val create : ?scale:scale -> ?seed:int -> unit -> t
+
+val scale : t -> scale
+val workload : t -> Olayout_oltp.Workload.t
+val app_profile : t -> Profile.t
+val kernel_profile : t -> Profile.t
+
+val placement : t -> Spike.combo -> Placement.t
+(** Application placement for a combination (computed once, cached). *)
+
+val kernel_base : t -> Placement.t
+val kernel_optimized : t -> Placement.t
+(** Kernel binary under its own full optimization (for the paper's
+    kernel-layout ablation). *)
+
+val measured_txns : t -> int
+
+val measure :
+  t ->
+  ?txns:int ->
+  ?kernel_placement:Placement.t ->
+  ?on_data:(int -> unit) ->
+  ?app_sinks:Olayout_exec.Walk.sink list ->
+  ?on_switch:(int -> unit) ->
+  renders:(Spike.combo * (Run.t -> unit)) list ->
+  unit ->
+  Olayout_oltp.Server.result
+(** Run one measurement execution rendering the same block path under every
+    requested combination.  All renders share the kernel placement
+    (default: the unoptimized kernel, as in the paper's main results). *)
+
+val measure_raw :
+  t ->
+  ?txns:int ->
+  ?kernel_placement:Placement.t ->
+  ?on_data:(int -> unit) ->
+  ?app_sinks:Olayout_exec.Walk.sink list ->
+  ?on_switch:(int -> unit) ->
+  renders:(Placement.t * (Run.t -> unit)) list ->
+  unit ->
+  Olayout_oltp.Server.result
+(** As {!measure} but with explicit application placements (for the CFA,
+    hot/cold-splitting and profile-quality ablations, whose layouts are not
+    {!Spike.combo} values). *)

@@ -1,0 +1,19 @@
+(** Extension experiment: branch prediction.
+
+    Chaining explicitly "biases conditional branches to be not taken"
+    (paper §2); reducing branch mispredicts is the other classic payoff of
+    layout optimization in the literature the paper builds on (§6).  This
+    experiment runs every executed conditional branch of the application
+    stream through four predictors under the baseline and optimized
+    layouts. *)
+
+type row = {
+  policy : Olayout_perf.Bpred.policy;
+  base_rate : float;  (** mispredicts per branch, baseline layout *)
+  opt_rate : float;
+}
+
+type result = { branches : int; taken_base : float; taken_opt : float; rows : row list }
+
+val run : Context.t -> result
+val tables : result -> Table.t list

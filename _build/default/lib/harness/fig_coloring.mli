@@ -1,0 +1,22 @@
+(** Extension experiment: cache-line-coloring placement (related work).
+
+    The paper's §6 discusses Hashemi et al. / Kalamaitianos et al., which
+    color procedures onto cache lines to avoid conflicts but "do not
+    consider procedure splitting and/or chaining in combination with the
+    procedure placement algorithm", and concludes placement alone is
+    ineffective for OLTP.  This experiment measures, at the coloring
+    target cache (64 KB direct-mapped):
+
+    - coloring applied to whole procedures only (a placement-only scheme);
+    - the paper's full pipeline (chain + split + Pettis-Hansen);
+    - coloring layered on top of the full pipeline's segments. *)
+
+type result = {
+  base : int;
+  coloring_only : int;
+  all : int;
+  all_plus_coloring : int;
+}
+
+val run : Context.t -> result
+val tables : result -> Table.t list

@@ -1,0 +1,31 @@
+(** Figures 12 and 13: combined application + operating system instruction
+    streams (128-byte lines, 4-way).
+
+    Fig 12: total misses of the combined stream vs the two streams simulated
+    in isolation, for baseline and optimized application binaries.  Paper:
+    interference makes the total exceed the sum of isolated curves; with
+    the optimized binary the kernel interference is relatively more
+    prominent; the combined reduction is 45-60% at 64-128 KB (vs 55-65%
+    isolated).
+
+    Fig 13: at 128 KB, for each miss the owner of the displaced line —
+    application misses are dominated by self-interference (less so once
+    optimized); kernel misses are mostly caused by the application. *)
+
+type side = {
+  combined : (int * int) list;  (** (size KB, misses), combined stream *)
+  app_isolated : (int * int) list;
+  combined_app_misses : (int * int) list;  (** app-attributed, combined *)
+  combined_kernel_misses : (int * int) list;
+  (* Fig 13 at 128 KB: *)
+  app_on_app : int;
+  app_on_kernel : int;
+  kernel_on_app : int;
+  kernel_on_kernel : int;
+  cold : int;
+}
+
+type result = { kernel_isolated : (int * int) list; base : side; optimized : side }
+
+val run : Context.t -> result
+val tables : result -> Table.t list

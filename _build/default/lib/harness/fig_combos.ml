@@ -1,0 +1,49 @@
+module Icache = Olayout_cachesim.Icache
+module Battery = Olayout_cachesim.Battery
+module Run = Olayout_exec.Run
+module Spike = Olayout_core.Spike
+
+type result = {
+  combos : Spike.combo list;
+  rows : (int * (Spike.combo * int) list) list;
+}
+
+let sizes = Fig_line_sweep.cache_sizes_kb
+
+let configs = List.map (fun size_kb -> Icache.config ~size_kb ~line:128 ~assoc:4 ()) sizes
+
+let app_only battery run =
+  if run.Run.owner = Run.App then Battery.access_run battery run
+
+let run ctx =
+  let batteries = List.map (fun combo -> (combo, Battery.create configs)) Spike.all_combos in
+  let _ =
+    Context.measure ctx
+      ~renders:(List.map (fun (combo, b) -> (combo, app_only b)) batteries)
+      ()
+  in
+  let find b size_kb =
+    Icache.misses (Battery.find b (Icache.config ~size_kb ~line:128 ~assoc:4 ()).Icache.name)
+  in
+  {
+    combos = Spike.all_combos;
+    rows =
+      List.map
+        (fun s -> (s, List.map (fun (combo, b) -> (combo, find b s)) batteries))
+        sizes;
+  }
+
+let tables r =
+  let tbl =
+    Table.create ~title:"Fig 7: i-cache misses per optimization combination (128B, 4-way)"
+      ~columns:("cache" :: List.map Spike.combo_name r.combos)
+  in
+  List.iter
+    (fun (s, per_combo) ->
+      Table.add_row tbl
+        (Printf.sprintf "%dKB" s
+        :: List.map (fun (_, m) -> Table.fmt_int m) per_combo))
+    r.rows;
+  Table.add_note tbl
+    "paper: porder alone slightly worse than base; chain is the big step; chain+split+porder (all) best";
+  [ tbl ]

@@ -1,0 +1,86 @@
+module Dss = Olayout_oltp.Dss
+module Icache = Olayout_cachesim.Icache
+module Spike = Olayout_core.Spike
+module Run = Olayout_exec.Run
+module Profile = Olayout_profile.Profile
+module Binary = Olayout_codegen.Binary
+module Footprint = Olayout_metrics.Footprint
+open Olayout_ir
+
+type row = { size_kb : int; base : int; optimized : int }
+
+type result = { footprint_kb : int; rows : row list; oltp_ratio_64k : float }
+
+let sizes = [ 8; 16; 32; 64 ]
+
+let run ctx =
+  let rows = match Context.scale ctx with Context.Quick -> 5_000 | Context.Full -> 20_000 in
+  let dss = Dss.create ~rows () in
+  let prog = Binary.prog (Dss.binary dss) in
+  (* Train on one pass, evaluate on another seed. *)
+  let profile = Profile.create prog in
+  let _ =
+    Dss.run_queries dss ~repeat:1 ~seed:1
+      ~app_sinks:[ (fun ~proc ~block ~arm -> Profile.record profile ~proc ~block ~arm) ]
+      ()
+  in
+  let base = Spike.optimize profile Spike.Base in
+  let optimized = Spike.optimize profile Spike.All in
+  let mk () = List.map (fun kb -> (kb, Icache.create (Icache.config ~size_kb:kb ~line:128 ~assoc:1 ()))) sizes in
+  let cb = mk () and co = mk () in
+  let feed caches run = List.iter (fun (_, c) -> Icache.access_run c run) caches in
+  let _ =
+    Dss.run_queries dss ~repeat:2 ~seed:9
+      ~renders:[ (base, feed cb); (optimized, feed co) ]
+      ()
+  in
+  (* Executed footprint of the DSS engine. *)
+  let units = ref [] in
+  Prog.iter_blocks prog (fun p b ->
+      units :=
+        ( Block.source_instrs b * Block.bytes_per_instr,
+          Profile.block_count profile ~proc:p.Proc.id ~block:b.Block.id )
+        :: !units);
+  let fp = Footprint.of_units !units in
+  (* OLTP contrast at 64 KB from the shared context (one small run). *)
+  let oltp_base = Icache.create (Icache.config ~size_kb:64 ~line:128 ~assoc:1 ()) in
+  let oltp_opt = Icache.create (Icache.config ~size_kb:64 ~line:128 ~assoc:1 ()) in
+  let app_only c run = if run.Run.owner = Run.App then Icache.access_run c run in
+  let _ =
+    Context.measure ctx
+      ~txns:(match Context.scale ctx with Context.Quick -> 100 | Context.Full -> 300)
+      ~renders:[ (Spike.Base, app_only oltp_base); (Spike.All, app_only oltp_opt) ]
+      ()
+  in
+  {
+    footprint_kb = Footprint.executed_footprint_bytes fp / 1024;
+    rows =
+      List.map2
+        (fun (kb, b) (_, o) -> { size_kb = kb; base = Icache.misses b; optimized = Icache.misses o })
+        cb co;
+    oltp_ratio_64k =
+      float_of_int (Icache.misses oltp_opt) /. float_of_int (max 1 (Icache.misses oltp_base));
+  }
+
+let tables r =
+  let tbl =
+    Table.create ~title:"Extension: DSS workload under the same pipeline (128B lines, DM)"
+      ~columns:[ "cache"; "base misses"; "optimized"; "ratio" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row tbl
+        [
+          Printf.sprintf "%dKB" row.size_kb;
+          Table.fmt_int row.base;
+          Table.fmt_int row.optimized;
+          (if row.base = 0 then "-"
+           else Table.fmt_pct (float_of_int row.optimized /. float_of_int row.base));
+        ])
+    r.rows;
+  Table.add_note tbl
+    (Printf.sprintf
+       "DSS executed footprint only %d KB; at caches that hold it, layout stops mattering — vs OLTP's %s ratio at 64KB (paper: DSS has much better i-cache behaviour)"
+       r.footprint_kb
+       (Table.fmt_pct r.oltp_ratio_64k));
+  [ tbl ]

@@ -1,0 +1,66 @@
+module Machine = Olayout_perf.Machine
+module Timing = Olayout_perf.Timing
+module Spike = Olayout_core.Spike
+
+type result = {
+  machines : Machine.t list;
+  rows : (string * (Spike.combo * float) list) list;
+  speedups : (string * float) list;
+}
+
+let run ctx =
+  let machines = Machine.all in
+  (* One timing model per (combo, machine); each render feeds its three. *)
+  let models =
+    List.map
+      (fun combo -> (combo, List.map (fun m -> (m, Timing.create m)) machines))
+      Spike.all_combos
+  in
+  let _ =
+    Context.measure ctx
+      ~renders:
+        (List.map
+           (fun (combo, per_machine) ->
+             ( combo,
+               fun run -> List.iter (fun (_, t) -> Timing.fetch_run t run) per_machine ))
+           models)
+      ()
+  in
+  let cycles combo machine =
+    let per_machine = List.assoc combo models in
+    let t = List.assq machine per_machine in
+    Timing.cycles t
+  in
+  let rows =
+    List.map
+      (fun (m : Machine.t) ->
+        let base = cycles Spike.Base m in
+        ( m.Machine.name,
+          List.map (fun combo -> (combo, 100.0 *. cycles combo m /. base)) Spike.all_combos
+        ))
+      machines
+  in
+  let speedups =
+    List.map
+      (fun (m : Machine.t) ->
+        (m.Machine.name, cycles Spike.Base m /. cycles Spike.All m))
+      machines
+  in
+  { machines; rows; speedups }
+
+let tables r =
+  let tbl =
+    Table.create ~title:"Fig 15: relative execution time, non-idle cycles (base = 100)"
+      ~columns:("machine" :: List.map Spike.combo_name Spike.all_combos)
+  in
+  List.iter
+    (fun (name, per_combo) ->
+      Table.add_row tbl
+        (name :: List.map (fun (_, pct) -> Printf.sprintf "%.1f" pct) per_combo))
+    r.rows;
+  List.iter
+    (fun (name, speedup) ->
+      Table.add_note tbl (Printf.sprintf "%s: %.2fx speedup base->all" name speedup))
+    r.speedups;
+  Table.add_note tbl "paper: ~1.33x on 21264 and 21164 hardware, 1.37x on the simulated system";
+  [ tbl ]

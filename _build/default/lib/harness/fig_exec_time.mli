@@ -1,0 +1,17 @@
+(** Figure 15: relative execution time (non-idle cycles) of every
+    optimization combination on the three machine models, combined
+    instruction stream.
+
+    Paper: both hardware platforms (21264, 21164) improve ~1.33x with all
+    optimizations; the simulated 21364-like system improves 1.37x; the
+    relative ordering of combinations matches Figure 7. *)
+
+type result = {
+  machines : Olayout_perf.Machine.t list;
+  (* per machine, per combo: relative non-idle cycles (base = 100%). *)
+  rows : (string * (Olayout_core.Spike.combo * float) list) list;
+  speedups : (string * float) list;  (** machine name -> base/all speedup *)
+}
+
+val run : Context.t -> result
+val tables : result -> Table.t list

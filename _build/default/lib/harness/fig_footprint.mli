@@ -1,0 +1,17 @@
+(** Figure 3: cumulative execution profile of the unoptimized application.
+
+    Paper: a 50 KB footprint captures ~60% of executed instructions, 99%
+    needs ~200 KB, the total executed footprint is ~260 KB, and the static
+    binary is far larger. *)
+
+type result = {
+  curve : (int * float) list;  (** (footprint bytes, fraction captured) *)
+  executed_bytes : int;
+  static_bytes : int;
+  bytes_60 : int;
+  bytes_90 : int;
+  bytes_99 : int;
+}
+
+val run : Context.t -> result
+val tables : result -> Table.t list

@@ -1,0 +1,72 @@
+module Icache = Olayout_cachesim.Icache
+module Spike = Olayout_core.Spike
+module Placement = Olayout_core.Placement
+module Cfa = Olayout_core.Cfa
+module Profile = Olayout_profile.Profile
+
+type result = {
+  kernel_base : int;
+  kernel_opt : int;
+  kernel_joint : int;
+  offset_bytes : int;
+}
+
+let cache_bytes = 128 * 1024
+
+(* The optimized kernel, with its first segment displaced so kernel text
+   starts in the cache sets right after the application's hot head. *)
+let shifted_kernel ctx ~offset =
+  let kopt = Context.kernel_optimized ctx in
+  let prog = Placement.prog kopt in
+  let first = ref true in
+  Placement.of_segments_at ~align:4 prog
+    ~addr_of:(fun _seg a ->
+      if !first then begin
+        first := false;
+        a + offset
+      end
+      else a)
+    (Placement.segments kopt)
+
+let measure_with ctx kernel_placement =
+  let c = Icache.create (Icache.config ~size_kb:128 ~line:128 ~assoc:4 ()) in
+  let _ =
+    Context.measure ctx ~kernel_placement
+      ~renders:[ (Spike.All, Icache.access_run c) ]
+      ()
+  in
+  Icache.misses c
+
+let run ctx =
+  (* The app's hot head: code covering 90% of execution, packed first by
+     Pettis-Hansen; cap the displacement inside the cache. *)
+  let hot = Cfa.hot_bytes_needed (Context.app_profile ctx) ~coverage:0.9 in
+  let offset = min hot (cache_bytes - (16 * 1024)) land lnot 63 in
+  {
+    kernel_base = measure_with ctx (Context.kernel_base ctx);
+    kernel_opt = measure_with ctx (Context.kernel_optimized ctx);
+    kernel_joint = measure_with ctx (shifted_kernel ctx ~offset);
+    offset_bytes = offset;
+  }
+
+let tables r =
+  let tbl =
+    Table.create ~title:"Extension: joint app+kernel layout (128KB/128B/4-way, combined)"
+      ~columns:[ "kernel layout"; "combined misses"; "vs unoptimized kernel" ]
+  in
+  let row name misses =
+    Table.add_row tbl
+      [
+        name;
+        Table.fmt_int misses;
+        Table.fmt_pct (float_of_int misses /. float_of_int (max 1 r.kernel_base));
+      ]
+  in
+  row "unoptimized (paper's main setup)" r.kernel_base;
+  row "optimized independently (paper: ~3.5% runtime)" r.kernel_opt;
+  row
+    (Printf.sprintf "optimized + offset %d KB past app hot sets" (r.offset_bytes / 1024))
+    r.kernel_joint;
+  Table.add_note tbl
+    "the paper left the joint optimization unstudied (\"may provide more synergistic gains\")";
+  [ tbl ]

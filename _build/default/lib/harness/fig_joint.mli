@@ -1,0 +1,19 @@
+(** Extension experiment: joint application + kernel layout.
+
+    The paper optimized the two binaries independently and noted that "a
+    combined code layout optimization of the application and the kernel may
+    provide more synergistic gains; however, we did not study this" (§5).
+    This experiment studies it: besides optimizing the kernel's internal
+    layout, the kernel text is *offset* so its hot head no longer shares
+    instruction-cache sets with the application's hot head (both otherwise
+    map to set 0 of their caches). *)
+
+type result = {
+  kernel_base : int;  (** combined misses, optimized app + unoptimized kernel *)
+  kernel_opt : int;  (** + kernel internally optimized *)
+  kernel_joint : int;  (** + kernel offset past the app's hot sets *)
+  offset_bytes : int;
+}
+
+val run : Context.t -> result
+val tables : result -> Table.t list

@@ -1,0 +1,20 @@
+(** Figures 4 and 5: application instruction cache misses across cache size
+    (32-512 KB) and line size (16-256 B), direct-mapped, isolated
+    application stream; baseline vs fully optimized binaries, and the
+    relative misses of optimized over baseline.
+
+    Paper: 128-byte lines are the sweet spot for both binaries; the
+    optimized binary reduces misses by ~55-65% at 64-128 KB, with larger
+    relative gains at larger line and cache sizes (up to 256 KB). *)
+
+val cache_sizes_kb : int list
+val line_sizes : int list
+
+type result = {
+  base : (int * int * int) list;  (** (size KB, line B, misses) *)
+  optimized : (int * int * int) list;
+}
+
+val run : Context.t -> result
+val misses : (int * int * int) list -> size_kb:int -> line:int -> int
+val tables : result -> Table.t list

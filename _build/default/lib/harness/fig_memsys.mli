@@ -1,0 +1,23 @@
+(** Figure 14: iTLB and unified-L2 behaviour, baseline vs optimized, on the
+    paper's simulated machine (64-entry fully associative iTLB, 1.5 MB
+    6-way L2), combined instruction stream plus the workload's data
+    references.
+
+    Paper: iTLB misses drop substantially (better packing at page
+    granularity); L2 instruction misses drop sharply; L2 *data* misses also
+    drop slightly because better-packed code displaces fewer data lines in
+    the shared L2. *)
+
+type side = {
+  itlb : int;
+  l2_instr : int;
+  l2_data : int;
+  l1i : int;
+  l1d : int;
+  code_pages : int;  (** distinct instruction pages touched *)
+}
+
+type result = { base : side; optimized : side }
+
+val run : Context.t -> result
+val tables : result -> Table.t list

@@ -1,0 +1,58 @@
+module Icache = Olayout_cachesim.Icache
+module Spike = Olayout_core.Spike
+
+type row = { cpus : int; base_misses : int; opt_misses : int }
+
+type result = { rows : row list }
+
+let cpu_counts = [ 1; 2; 4 ]
+
+let run ctx =
+  (* Per (layout, cpu-count): one 64KB/128B/2-way cache per CPU; runs are
+     routed by the process currently dispatched. *)
+  let mk_bank cpus =
+    Array.init cpus (fun _ -> Icache.create (Icache.config ~size_kb:64 ~line:128 ~assoc:2 ()))
+  in
+  let banks_base = List.map (fun n -> (n, mk_bank n)) cpu_counts in
+  let banks_opt = List.map (fun n -> (n, mk_bank n)) cpu_counts in
+  let current_pid = ref 0 in
+  let feed banks run =
+    List.iter
+      (fun (cpus, bank) -> Icache.access_run bank.(!current_pid mod cpus) run)
+      banks
+  in
+  let _ =
+    Context.measure ctx
+      ~on_switch:(fun pid -> current_pid := pid)
+      ~renders:
+        [ (Spike.Base, feed banks_base); (Spike.All, feed banks_opt) ]
+      ()
+  in
+  let total bank = Array.fold_left (fun acc c -> acc + Icache.misses c) 0 bank in
+  {
+    rows =
+      List.map2
+        (fun (n, bb) (_, bo) -> { cpus = n; base_misses = total bb; opt_misses = total bo })
+        banks_base banks_opt;
+  }
+
+let tables r =
+  let tbl =
+    Table.create
+      ~title:"Extension: per-CPU i-caches, 8 processes partitioned (64KB/128B/2-way each)"
+      ~columns:[ "CPUs"; "base misses (sum)"; "optimized (sum)"; "ratio" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row tbl
+        [
+          string_of_int row.cpus;
+          Table.fmt_int row.base_misses;
+          Table.fmt_int row.opt_misses;
+          (if row.base_misses = 0 then "-"
+           else Table.fmt_pct (float_of_int row.opt_misses /. float_of_int row.base_misses));
+        ])
+    r.rows;
+  Table.add_note tbl
+    "paper: 4-CPU hardware runs improve 1.25x vs 1.33x single-CPU, the gap due to data communication misses (not modeled here); the i-cache gain itself is stable across CPU counts";
+  [ tbl ]

@@ -1,0 +1,18 @@
+(** Figure 8: sequentially executed instructions between control breaks,
+    baseline vs optimized, isolated application stream.
+
+    Paper: average dynamic basic block ~5-6 instructions; average sequence
+    grows from 7.3 (base) to over 10 (optimized); 1-instruction sequences
+    drop from 21% to 15% of all sequences; the optimized binary shows a
+    spike near length 17. *)
+
+type result = {
+  avg_block : float;
+  base_mean : float;
+  opt_mean : float;
+  base_hist : (int * float) list;  (** (length, fraction of sequences) *)
+  opt_hist : (int * float) list;
+}
+
+val run : Context.t -> result
+val tables : result -> Table.t list

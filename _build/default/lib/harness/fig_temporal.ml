@@ -1,0 +1,116 @@
+module Icache = Olayout_cachesim.Icache
+module Run = Olayout_exec.Run
+module Spike = Olayout_core.Spike
+module Segment = Olayout_core.Segment
+module Splitting = Olayout_core.Splitting
+module Pettis_hansen = Olayout_core.Pettis_hansen
+module Temporal_order = Olayout_core.Temporal_order
+module Placement = Olayout_core.Placement
+module Profile = Olayout_profile.Profile
+module Temporal = Olayout_profile.Temporal
+module Workload = Olayout_oltp.Workload
+module Server = Olayout_oltp.Server
+module Binary = Olayout_codegen.Binary
+
+type result = {
+  base_64 : int;
+  ph_procs_64 : int;
+  temporal_procs_64 : int;
+  all_ph_64 : int;
+  all_temporal_64 : int;
+  base_128 : int;
+  ph_procs_128 : int;
+  temporal_procs_128 : int;
+  all_ph_128 : int;
+  all_temporal_128 : int;
+}
+
+(* Record the temporal graph on the training schedule (same seed as the
+   context's profile run). *)
+let record_temporal ctx =
+  let w = Context.workload ctx in
+  let temporal = Temporal.create (Binary.prog (Workload.app w)) () in
+  let txns = match Context.scale ctx with Context.Quick -> 150 | Context.Full -> 2000 in
+  let _ =
+    Server.run ~app:(Workload.app w) ~kernel:(Workload.kernel w) ~txns ~seed:1
+      ~app_sinks:[ (fun ~proc ~block ~arm -> Temporal.sink temporal ~proc ~block ~arm) ]
+      ()
+  in
+  temporal
+
+let run ctx =
+  let profile = Context.app_profile ctx in
+  let prog = Profile.prog profile in
+  let temporal = record_temporal ctx in
+  let seg_heat (seg : Segment.t) =
+    float_of_int (Profile.block_count profile ~proc:seg.Segment.proc ~block:(Segment.head seg))
+  in
+  let proc_segments = Array.to_list (Array.map Segment.of_proc prog.Olayout_ir.Prog.procs) in
+  let split_segments = Splitting.fine_grain profile in
+  let placements =
+    [
+      Context.placement ctx Spike.Base;
+      Placement.of_segments ~align:4 prog (Pettis_hansen.order profile proc_segments);
+      Placement.of_segments ~align:4 prog
+        (Temporal_order.order temporal ~heat:seg_heat proc_segments);
+      Context.placement ctx Spike.All;
+      Placement.of_segments ~align:4 prog
+        (Temporal_order.order temporal ~heat:seg_heat split_segments);
+    ]
+  in
+  let caches =
+    List.map
+      (fun _ ->
+        ( Icache.create (Icache.config ~size_kb:64 ~line:128 ~assoc:1 ()),
+          Icache.create (Icache.config ~size_kb:128 ~line:128 ~assoc:1 ()) ))
+      placements
+  in
+  let app_only (c64, c128) run =
+    if run.Run.owner = Run.App then begin
+      Icache.access_run c64 run;
+      Icache.access_run c128 run
+    end
+  in
+  let _ =
+    Context.measure_raw ctx
+      ~renders:(List.map2 (fun p c -> (p, app_only c)) placements caches)
+      ()
+  in
+  match List.map (fun (c64, c128) -> (Icache.misses c64, Icache.misses c128)) caches with
+  | [ (b64, b128); (p64, p128); (t64, t128); (a64, a128); (at64, at128) ] ->
+      {
+        base_64 = b64;
+        ph_procs_64 = p64;
+        temporal_procs_64 = t64;
+        all_ph_64 = a64;
+        all_temporal_64 = at64;
+        base_128 = b128;
+        ph_procs_128 = p128;
+        temporal_procs_128 = t128;
+        all_ph_128 = a128;
+        all_temporal_128 = at128;
+      }
+  | _ -> assert false
+
+let tables r =
+  let tbl =
+    Table.create ~title:"Extension: temporal ordering (Gloy et al.) vs Pettis-Hansen (DM, 128B)"
+      ~columns:[ "ordering"; "64KB misses"; "128KB misses"; "vs base @64KB" ]
+  in
+  let row name m64 m128 =
+    Table.add_row tbl
+      [
+        name;
+        Table.fmt_int m64;
+        Table.fmt_int m128;
+        Table.fmt_pct (float_of_int m64 /. float_of_int (max 1 r.base_64));
+      ]
+  in
+  row "base (source order)" r.base_64 r.base_128;
+  row "P-H, whole procedures (porder)" r.ph_procs_64 r.ph_procs_128;
+  row "temporal, whole procedures" r.temporal_procs_64 r.temporal_procs_128;
+  row "chain+split + P-H (all)" r.all_ph_64 r.all_ph_128;
+  row "chain+split + temporal" r.all_temporal_64 r.all_temporal_128;
+  Table.add_note tbl
+    "paper §6: Gloy et al. add temporal information to placement but, like all placement-only schemes, need chaining/splitting to matter for OLTP";
+  [ tbl ]

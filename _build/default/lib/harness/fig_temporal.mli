@@ -1,0 +1,27 @@
+(** Extension experiment: temporal-ordering placement (Gloy et al.).
+
+    The paper's §6 cites Gloy et al.'s extension of Pettis-Hansen that uses
+    temporal relationships between procedures rather than call counts.
+    This experiment records a temporal-relationship graph during a training
+    run and compares, at 64 and 128 KB direct-mapped caches:
+
+    - Pettis-Hansen over whole procedures (the paper's porder);
+    - temporal ordering over whole procedures;
+    - the full pipeline with P-H vs temporal final ordering of the
+      chained + split segments. *)
+
+type result = {
+  base_64 : int;
+  ph_procs_64 : int;
+  temporal_procs_64 : int;
+  all_ph_64 : int;
+  all_temporal_64 : int;
+  base_128 : int;
+  ph_procs_128 : int;
+  temporal_procs_128 : int;
+  all_ph_128 : int;
+  all_temporal_128 : int;
+}
+
+val run : Context.t -> result
+val tables : result -> Table.t list

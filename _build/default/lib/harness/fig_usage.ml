@@ -1,0 +1,82 @@
+module Icache = Olayout_cachesim.Icache
+module Run = Olayout_exec.Run
+module Spike = Olayout_core.Spike
+module Histogram = Olayout_metrics.Histogram
+
+type histo = (int * float) list
+
+type result = {
+  base_words : histo;
+  opt_words : histo;
+  base_reuse : histo;
+  opt_reuse : histo;
+  base_life : histo;
+  opt_life : histo;
+  base_mean_life : float;
+  opt_mean_life : float;
+  base_unused_frac : float;
+  opt_unused_frac : float;
+}
+
+let fractions h =
+  let total = Histogram.total h in
+  List.map
+    (fun (k, c) -> (k, float_of_int c /. float_of_int (max 1 total)))
+    (Histogram.to_sorted_list h)
+
+let run ctx =
+  let mk () =
+    Icache.create ~track_usage:true (Icache.config ~size_kb:128 ~line:128 ~assoc:4 ())
+  in
+  let cb = mk () and co = mk () in
+  let feed cache run = if run.Run.owner = Run.App then Icache.access_run cache run in
+  let _ = Context.measure ctx ~renders:[ (Spike.Base, feed cb); (Spike.All, feed co) ] () in
+  Icache.flush_residents cb;
+  Icache.flush_residents co;
+  let unused c =
+    1.0
+    -. (float_of_int (Icache.words_used_total c)
+       /. float_of_int (max 1 (Icache.instrs_fetched_into_cache c)))
+  in
+  {
+    base_words = fractions (Icache.words_used_histogram cb);
+    opt_words = fractions (Icache.words_used_histogram co);
+    base_reuse = fractions (Icache.word_reuse_histogram cb);
+    opt_reuse = fractions (Icache.word_reuse_histogram co);
+    base_life = fractions (Icache.lifetime_histogram cb);
+    opt_life = fractions (Icache.lifetime_histogram co);
+    base_mean_life = Icache.mean_lifetime cb;
+    opt_mean_life = Icache.mean_lifetime co;
+    base_unused_frac = unused cb;
+    opt_unused_frac = unused co;
+  }
+
+let histo_table ~title ~key_label ~fmt_key base opt note =
+  let tbl = Table.create ~title ~columns:[ key_label; "base"; "optimized" ] in
+  let keys =
+    List.sort_uniq compare (List.map fst base @ List.map fst opt)
+  in
+  let lookup h k = match List.assoc_opt k h with Some f -> f | None -> 0.0 in
+  List.iter
+    (fun k ->
+      Table.add_row tbl [ fmt_key k; Table.fmt_pct (lookup base k); Table.fmt_pct (lookup opt k) ])
+    keys;
+  Table.add_note tbl note;
+  tbl
+
+let tables r =
+  [
+    histo_table ~title:"Fig 9: unique words used per line before replacement (128KB/128B/4w)"
+      ~key_label:"words" ~fmt_key:string_of_int r.base_words r.opt_words
+      "paper: optimized uses the full 32-word line in >60% of replacements";
+    histo_table ~title:"Fig 10: times a word is used before replacement"
+      ~key_label:"uses" ~fmt_key:(fun k -> if k >= 15 then "15+" else string_of_int k)
+      r.base_reuse r.opt_reuse
+      (Printf.sprintf
+         "paper: >50%% of fetched words unused in base vs ~21%% optimized; here base %s, optimized %s unused"
+         (Table.fmt_pct r.base_unused_frac) (Table.fmt_pct r.opt_unused_frac));
+    histo_table ~title:"Fig 11: cache line lifetimes (log2 cache accesses before replacement)"
+      ~key_label:"log2(lifetime)" ~fmt_key:string_of_int r.base_life r.opt_life
+      (Printf.sprintf "mean lifetime: base %.0f, optimized %.0f accesses (paper: >2x increase)"
+         r.base_mean_life r.opt_mean_life);
+  ]

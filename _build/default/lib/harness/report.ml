@@ -1,0 +1,54 @@
+type selection = All | Only of string list
+
+let experiments :
+    (string * string * (Context.t -> Table.t list)) list =
+  [
+    ("fig3", "execution profile", fun ctx -> Fig_footprint.tables (Fig_footprint.run ctx));
+    ("fig4", "cache/line sweep (figs 4-5)", fun ctx -> Fig_line_sweep.tables (Fig_line_sweep.run ctx));
+    ("fig6", "associativity", fun ctx -> Fig_assoc.tables (Fig_assoc.run ctx));
+    ("fig7", "optimization combinations", fun ctx -> Fig_combos.tables (Fig_combos.run ctx));
+    ("fig8", "sequence lengths", fun ctx -> Fig_sequences.tables (Fig_sequences.run ctx));
+    ("fig9", "line usage (figs 9-11)", fun ctx -> Fig_usage.tables (Fig_usage.run ctx));
+    ("fig12", "combined app+OS (figs 12-13)", fun ctx -> Fig_combined.tables (Fig_combined.run ctx));
+    ("fig14", "iTLB and L2", fun ctx -> Fig_memsys.tables (Fig_memsys.run ctx));
+    ("fig15", "execution time", fun ctx -> Fig_exec_time.tables (Fig_exec_time.run ctx));
+    ("intext", "in-text measurements", fun ctx -> Intext.tables (Intext.run ctx));
+    ("ablations", "design ablations", fun ctx -> Ablations.tables (Ablations.run ctx));
+    ("prefetch", "extension: stream-buffer prefetch", fun ctx ->
+        Fig_prefetch.tables (Fig_prefetch.run ctx));
+    ("joint", "extension: joint app+kernel layout", fun ctx ->
+        Fig_joint.tables (Fig_joint.run ctx));
+    ("bpred", "extension: branch prediction", fun ctx ->
+        Fig_bpred.tables (Fig_bpred.run ctx));
+    ("coloring", "extension: cache-line coloring", fun ctx ->
+        Fig_coloring.tables (Fig_coloring.run ctx));
+    ("dss", "extension: DSS contrast workload", fun ctx ->
+        Fig_dss.tables (Fig_dss.run ctx));
+    ("multiproc", "extension: per-CPU caches", fun ctx ->
+        Fig_multiproc.tables (Fig_multiproc.run ctx));
+    ("temporal", "extension: temporal ordering (Gloy et al.)", fun ctx ->
+        Fig_temporal.tables (Fig_temporal.run ctx));
+  ]
+
+let experiment_ids = List.map (fun (id, _, _) -> id) experiments
+
+let run ?(selection = All) ctx ppf =
+  let selected =
+    match selection with
+    | All -> experiments
+    | Only ids ->
+        List.iter
+          (fun id ->
+            if not (List.mem_assoc id (List.map (fun (i, d, f) -> (i, (d, f))) experiments))
+            then invalid_arg (Printf.sprintf "Report.run: unknown experiment %S" id))
+          ids;
+        List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  in
+  List.iter
+    (fun (id, desc, exp) ->
+      let t0 = Unix.gettimeofday () in
+      Format.fprintf ppf "@.### %s — %s@." id desc;
+      let tables = exp ctx in
+      List.iter (fun tbl -> Table.print ppf tbl) tables;
+      Format.fprintf ppf "  (%s took %.1fs)@." id (Unix.gettimeofday () -. t0))
+    selected

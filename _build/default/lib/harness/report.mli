@@ -1,0 +1,16 @@
+(** Run every experiment and print its tables — the full reproduction of the
+    paper's evaluation section. *)
+
+type selection =
+  | All
+  | Only of string list
+      (** Experiment ids: "fig3" "fig4" "fig6" "fig7" "fig8" "fig9" "fig12"
+          "fig14" "fig15" "intext" "ablations" "prefetch" "joint" (fig4
+          covers fig5, fig9 covers 10-11, fig12 covers 13; the last two are
+          extensions beyond the paper). *)
+
+val experiment_ids : string list
+
+val run : ?selection:selection -> Context.t -> Format.formatter -> unit
+(** Executes the selected experiments in order, printing each experiment's
+    tables as it completes (with wall-clock timings). *)

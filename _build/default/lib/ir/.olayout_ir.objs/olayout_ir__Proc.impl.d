@@ -1,0 +1,1 @@
+lib/ir/proc.ml: Array Block Format List

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Block Format List Printf Proc Prog String

@@ -1,0 +1,61 @@
+type id = int
+
+type terminator =
+  | Fall of id
+  | Jump of id
+  | Cond of { taken : id; fall : id; p_taken : float }
+  | Call of { callee : int; ret : id }
+  | Ijump of (id * float) array
+  | Ret
+  | Halt
+
+type t = { id : id; body : int; term : terminator }
+
+let bytes_per_instr = 4
+
+let successors b =
+  match b.term with
+  | Fall d | Jump d -> [ d ]
+  | Cond { taken; fall; _ } -> [ taken; fall ]
+  | Call { ret; _ } -> [ ret ]
+  | Ijump targets -> Array.to_list (Array.map fst targets)
+  | Ret | Halt -> []
+
+let arm_count b =
+  match b.term with
+  | Cond _ -> 2
+  | Ijump targets -> Array.length targets
+  | Fall _ | Jump _ | Call _ | Ret | Halt -> 1
+
+let arm_target b arm =
+  match b.term with
+  | Fall d | Jump d -> Some d
+  | Cond { taken; fall; _ } -> Some (if arm = 0 then taken else fall)
+  | Call { ret; _ } -> Some ret
+  | Ijump targets -> Some (fst targets.(arm))
+  | Ret | Halt -> None
+
+let source_instrs b =
+  b.body
+  +
+  match b.term with
+  | Fall _ | Halt -> 0
+  | Jump _ | Cond _ | Call _ | Ijump _ | Ret -> 1
+
+let term_is_unconditional_transfer b =
+  match b.term with
+  | Jump _ | Ijump _ | Ret | Halt -> true
+  | Fall _ | Cond _ | Call _ -> false
+
+let pp ppf b =
+  let term ppf = function
+    | Fall d -> Format.fprintf ppf "fall b%d" d
+    | Jump d -> Format.fprintf ppf "jump b%d" d
+    | Cond { taken; fall; p_taken } ->
+        Format.fprintf ppf "cond b%d/b%d p=%.2f" taken fall p_taken
+    | Call { callee; ret } -> Format.fprintf ppf "call p%d ret b%d" callee ret
+    | Ijump targets -> Format.fprintf ppf "ijump(%d targets)" (Array.length targets)
+    | Ret -> Format.fprintf ppf "ret"
+    | Halt -> Format.fprintf ppf "halt"
+  in
+  Format.fprintf ppf "b%d[%d instrs; %a]" b.id b.body term b.term

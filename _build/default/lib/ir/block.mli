@@ -1,0 +1,61 @@
+(** Basic blocks.
+
+    A block is a straight-line run of [body] generic instructions followed by
+    one terminator.  Instructions are fixed-width 4-byte words (Alpha-style).
+    Block identifiers are indices into the owning procedure's block array.
+
+    The terminator's encoded size is *layout dependent*: an unconditional
+    branch to the next address is elided, a fall-through to a non-adjacent
+    block needs an inserted branch, and a conditional branch with neither
+    successor adjacent needs a companion unconditional branch.  Those
+    decisions live in {!Olayout_core.Placement}; this module only describes
+    the control-flow shape. *)
+
+type id = int
+(** Index of a block within its procedure. *)
+
+type terminator =
+  | Fall of id
+      (** Fall through to a block; no branch instruction in source order. *)
+  | Jump of id  (** Unconditional branch. *)
+  | Cond of { taken : id; fall : id; p_taken : float }
+      (** Conditional branch.  [p_taken] is the synthesis-time ground-truth
+          probability; optimizers never read it, they use profiles. *)
+  | Call of { callee : int; ret : id }
+      (** Subroutine call.  Execution resumes at [ret], which every layout
+          must place immediately after this block (a call does not end a
+          code segment). *)
+  | Ijump of (id * float) array
+      (** Indirect jump (switch); weighted possible targets. *)
+  | Ret  (** Subroutine return. *)
+  | Halt  (** Program exit; only in a designated exit block. *)
+
+type t = { id : id; body : int; term : terminator }
+(** [body] is the number of non-terminator instructions, [>= 0]. *)
+
+val bytes_per_instr : int
+(** Instruction width in bytes (4, as on Alpha). *)
+
+val successors : t -> id list
+(** Intra-procedure successor blocks (excludes callees; includes [ret] for
+    calls). *)
+
+val arm_count : t -> int
+(** Number of distinct control outcomes of the terminator: 2 for [Cond],
+    the target count for [Ijump], 1 otherwise. *)
+
+val arm_target : t -> int -> id option
+(** [arm_target b arm] is the intra-procedure destination selected by
+    outcome [arm] ([None] for [Ret]/[Halt]).  For [Cond], arm 0 is taken and
+    arm 1 is fall-through.  For [Call], the destination is [ret]. *)
+
+val source_instrs : t -> int
+(** Encoded size under the source-order layout: [body] plus one terminator
+    instruction for everything except [Fall] (adjacent by construction) and
+    [Halt]. *)
+
+val term_is_unconditional_transfer : t -> bool
+(** True for [Jump], [Ijump], [Ret] and [Halt]: the terminators at which
+    fine-grain procedure splitting may cut a segment. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type proc_builder = { pname : string; mutable rev_blocks : Block.t list; mutable next : int }
+
+let proc ~name = { pname = name; rev_blocks = []; next = 0 }
+
+let add_block pb ~body term =
+  let id = pb.next in
+  pb.next <- id + 1;
+  pb.rev_blocks <- { Block.id; body; term } :: pb.rev_blocks;
+  id
+
+let reserve pb = pb.next
+
+let seal pb ~id =
+  let blocks = Array.of_list (List.rev pb.rev_blocks) in
+  if Array.length blocks = 0 then
+    invalid_arg (Printf.sprintf "Builder.seal: procedure %s has no blocks" pb.pname);
+  { Proc.id; name = pb.pname; entry = 0; blocks }
+
+type t = { name : string; base_addr : int; mutable rev_procs : Proc.t list; mutable nprocs : int }
+
+let program ~name ~base_addr = { name; base_addr; rev_procs = []; nprocs = 0 }
+
+let add_proc t mk =
+  let id = t.nprocs in
+  t.nprocs <- id + 1;
+  let p = mk ~id in
+  if p.Proc.id <> id then invalid_arg "Builder.add_proc: procedure built with wrong id";
+  t.rev_procs <- p :: t.rev_procs;
+  id
+
+let finish_unchecked t =
+  { Prog.name = t.name; base_addr = t.base_addr; procs = Array.of_list (List.rev t.rev_procs) }
+
+let finish t =
+  let prog = finish_unchecked t in
+  Validate.check_exn prog;
+  prog

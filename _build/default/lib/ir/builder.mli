@@ -1,0 +1,34 @@
+(** Imperative construction of procedures and programs.
+
+    Used by the code synthesizer and by tests.  Blocks are appended in source
+    order; branch targets may reference blocks that do not exist yet and are
+    checked when the procedure is sealed. *)
+
+type proc_builder
+
+val proc : name:string -> proc_builder
+(** Start a procedure.  Its entry is the first appended block. *)
+
+val add_block : proc_builder -> body:int -> Block.terminator -> Block.id
+(** Append a block, returning its id (sequential from 0). *)
+
+val reserve : proc_builder -> Block.id
+(** Reserve the id the next appended block will get, for forward branches. *)
+
+val seal : proc_builder -> id:int -> Proc.t
+(** Finish the procedure, giving it program index [id]. *)
+
+type t
+
+val program : name:string -> base_addr:int -> t
+val add_proc : t -> (id:int -> Proc.t) -> int
+(** [add_proc t mk] allocates the next procedure index, builds the procedure
+    with it and returns it. *)
+
+val finish : t -> Prog.t
+(** Seal the program and validate it.
+    @raise Invalid_argument on structural errors. *)
+
+val finish_unchecked : t -> Prog.t
+(** As {!finish} without validation; for tests that construct invalid
+    programs on purpose. *)

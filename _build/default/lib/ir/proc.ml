@@ -1,0 +1,27 @@
+type t = { id : int; name : string; entry : Block.id; blocks : Block.t array }
+
+let block t id = t.blocks.(id)
+let n_blocks t = Array.length t.blocks
+
+let term_source_instrs (b : Block.t) =
+  match b.term with
+  | Block.Fall _ | Block.Halt -> 0
+  | Block.Jump _ | Block.Cond _ | Block.Call _ | Block.Ijump _ | Block.Ret -> 1
+
+let static_instrs t =
+  Array.fold_left (fun acc b -> acc + b.Block.body + term_source_instrs b) 0 t.blocks
+
+let predecessors t =
+  let preds = Array.make (n_blocks t) [] in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s -> preds.(s) <- b.Block.id :: preds.(s))
+        (Block.successors b))
+    t.blocks;
+  Array.map List.rev preds
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>proc %d %S entry=b%d@," t.id t.name t.entry;
+  Array.iter (fun b -> Format.fprintf ppf "%a@," Block.pp b) t.blocks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+(** Procedures: a named array of basic blocks with a distinguished entry.
+
+    By convention the source-order block arrangement (index order) is the
+    "compiler output" layout: every [Fall] terminator and every [Cond]
+    fall-through edge targets the textually next block, mirroring what a
+    non-layout-optimizing compiler emits.  {!Validate} checks this. *)
+
+type t = {
+  id : int;  (** Index within the owning program. *)
+  name : string;
+  entry : Block.id;
+  blocks : Block.t array;
+}
+
+val block : t -> Block.id -> Block.t
+val n_blocks : t -> int
+
+val static_instrs : t -> int
+(** Source-order encoded size in instructions: body instructions plus one
+    terminator instruction for [Jump]/[Cond]/[Call]/[Ijump]/[Ret] ([Fall]
+    and [Halt] encode to zero). *)
+
+val predecessors : t -> Block.id list array
+(** Intra-procedure predecessor lists, indexed by block id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = { name : string; base_addr : int; procs : Proc.t array }
+
+let proc t i = t.procs.(i)
+let n_procs t = Array.length t.procs
+
+let find_proc t name =
+  Array.find_opt (fun (p : Proc.t) -> String.equal p.name name) t.procs
+
+let static_instrs t = Array.fold_left (fun acc p -> acc + Proc.static_instrs p) 0 t.procs
+
+let n_blocks t = Array.fold_left (fun acc p -> acc + Proc.n_blocks p) 0 t.procs
+
+let iter_blocks t f =
+  Array.iter (fun p -> Array.iter (fun b -> f p b) p.Proc.blocks) t.procs
+
+let pp_summary ppf t =
+  Format.fprintf ppf "program %S: %d procs, %d blocks, %d instrs (%d KB)"
+    t.name (n_procs t) (n_blocks t) (static_instrs t)
+    (static_instrs t * Block.bytes_per_instr / 1024)

@@ -1,0 +1,28 @@
+(** Whole programs ("binaries").
+
+    A program is an array of procedures plus the virtual base address at
+    which its text section is mapped.  Two programs coexist in the OLTP
+    experiments: the application binary and the kernel binary, mapped at
+    disjoint address ranges (like user text vs. kernel text on Alpha). *)
+
+type t = {
+  name : string;
+  base_addr : int;  (** Virtual address of the first text byte. *)
+  procs : Proc.t array;
+}
+
+val proc : t -> int -> Proc.t
+val n_procs : t -> int
+
+val find_proc : t -> string -> Proc.t option
+(** Lookup by name (linear; intended for tests and tooling). *)
+
+val static_instrs : t -> int
+(** Source-order encoded program size in instructions. *)
+
+val n_blocks : t -> int
+(** Total basic blocks across all procedures. *)
+
+val iter_blocks : t -> (Proc.t -> Block.t -> unit) -> unit
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type error = { where : string; what : string }
+
+let check prog =
+  let errors = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errors := { where; what } :: !errors) fmt
+  in
+  let n_procs = Prog.n_procs prog in
+  Array.iter
+    (fun (p : Proc.t) ->
+      let where = Printf.sprintf "proc %d (%s)" p.id p.name in
+      let nb = Proc.n_blocks p in
+      let in_range b = b >= 0 && b < nb in
+      if not (in_range p.entry) then err where "entry b%d out of range" p.entry;
+      Array.iteri
+        (fun i (b : Block.t) ->
+          if b.id <> i then err where "block %d has id %d" i b.id;
+          if b.body < 0 then err where "b%d: negative body" i;
+          List.iter
+            (fun s -> if not (in_range s) then err where "b%d: successor b%d out of range" i s)
+            (Block.successors b);
+          match b.term with
+          | Block.Fall d ->
+              if d <> i + 1 then err where "b%d: fall-through to b%d, expected b%d" i d (i + 1)
+          | Block.Cond { taken; fall; p_taken } ->
+              if fall <> i + 1 then
+                err where "b%d: cond fall-through to b%d, expected b%d" i fall (i + 1);
+              if taken = fall then err where "b%d: cond with equal successors" i;
+              if p_taken < 0.0 || p_taken > 1.0 then
+                err where "b%d: p_taken %f out of [0,1]" i p_taken
+          | Block.Call { callee; ret } ->
+              if callee < 0 || callee >= n_procs then
+                err where "b%d: callee p%d out of range" i callee;
+              if ret <> i + 1 then
+                err where "b%d: call returns to b%d, expected b%d" i ret (i + 1)
+          | Block.Ijump targets ->
+              if Array.length targets = 0 then err where "b%d: empty ijump" i;
+              Array.iter
+                (fun (_, w) -> if w <= 0.0 then err where "b%d: non-positive ijump weight" i)
+                targets
+          | Block.Jump _ | Block.Ret | Block.Halt -> ())
+        p.blocks)
+    prog.procs;
+  (* Call-graph acyclicity via DFS coloring. *)
+  let color = Array.make n_procs 0 in
+  let callees p =
+    let acc = ref [] in
+    Array.iter
+      (fun (b : Block.t) ->
+        match b.Block.term with
+        | Block.Call { callee; _ } -> acc := callee :: !acc
+        | _ -> ())
+      (Prog.proc prog p).Proc.blocks;
+    !acc
+  in
+  let rec dfs p =
+    if color.(p) = 1 then
+      err (Printf.sprintf "proc %d" p) "call-graph cycle through this procedure"
+    else if color.(p) = 0 then begin
+      color.(p) <- 1;
+      List.iter dfs (callees p);
+      color.(p) <- 2
+    end
+  in
+  for p = 0 to n_procs - 1 do
+    dfs p
+  done;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn prog =
+  match check prog with
+  | Ok () -> ()
+  | Error es ->
+      let shown = List.filteri (fun i _ -> i < 5) es in
+      let msg =
+        String.concat "; "
+          (List.map (fun e -> Printf.sprintf "%s: %s" e.where e.what) shown)
+      in
+      invalid_arg
+        (Printf.sprintf "Validate.check_exn: %d error(s): %s" (List.length es) msg)

@@ -1,0 +1,19 @@
+(** Structural validation of programs.
+
+    Checks the invariants every pass and the executor rely on:
+    - all block/procedure references are in range;
+    - [Fall] targets and [Cond] fall-through targets are the textually next
+      block (source-order convention);
+    - [Call] return blocks are the textually next block;
+    - entry blocks exist; [Ijump] weight vectors are positive;
+    - [Cond] probabilities lie in [0,1] and the two successors differ;
+    - the call graph is acyclic (the synthetic workloads never recurse, and
+      the executor's walk relies on bounded call depth). *)
+
+type error = { where : string; what : string }
+
+val check : Prog.t -> (unit, error list) result
+(** All violated invariants, or [Ok ()]. *)
+
+val check_exn : Prog.t -> unit
+(** @raise Invalid_argument listing the first few violations. *)

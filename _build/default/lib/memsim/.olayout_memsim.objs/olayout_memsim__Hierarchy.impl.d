@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.ml: Cache Itlb Olayout_cachesim Olayout_exec Phys

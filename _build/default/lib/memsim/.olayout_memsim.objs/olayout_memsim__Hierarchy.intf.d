@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.mli: Itlb Olayout_cachesim Olayout_exec

@@ -1,0 +1,1 @@
+lib/memsim/itlb.ml: Array Hashtbl Olayout_exec

@@ -1,0 +1,1 @@
+lib/memsim/itlb.mli: Olayout_exec

@@ -1,0 +1,1 @@
+lib/memsim/phys.ml: Int64

@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  assoc : int;
+  line_shift : int;
+  set_mask : int;
+  tags : int array;
+  last_use : int array;
+  on_miss : (int -> unit) option;
+  mutable clock : int;
+  mutable misses : int;
+  acc_kind : int array;
+  miss_kind : int array;
+}
+
+let log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let create ?on_miss ~name ~size_bytes ~line_bytes ~assoc () =
+  if line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Cache.create: line must be a power of two";
+  if assoc < 1 || size_bytes < line_bytes * assoc then
+    invalid_arg "Cache.create: bad associativity";
+  if size_bytes mod (line_bytes * assoc) <> 0 then
+    invalid_arg "Cache.create: size not a multiple of line*assoc";
+  let n_sets = size_bytes / (line_bytes * assoc) in
+  if n_sets land (n_sets - 1) <> 0 then
+    invalid_arg "Cache.create: set count must be a power of two";
+  {
+    name;
+    assoc;
+    line_shift = log2 line_bytes;
+    set_mask = n_sets - 1;
+    tags = Array.make (n_sets * assoc) (-1);
+    last_use = Array.make (n_sets * assoc) 0;
+    on_miss;
+    clock = 0;
+    misses = 0;
+    acc_kind = Array.make 2 0;
+    miss_kind = Array.make 2 0;
+  }
+
+let access t ~kind addr =
+  t.clock <- t.clock + 1;
+  t.acc_kind.(kind) <- t.acc_kind.(kind) + 1;
+  let line = addr lsr t.line_shift in
+  let set = line land t.set_mask in
+  let base = set * t.assoc in
+  let way = ref (-1) in
+  for i = 0 to t.assoc - 1 do
+    if t.tags.(base + i) = line then way := i
+  done;
+  if !way >= 0 then t.last_use.(base + !way) <- t.clock
+  else begin
+    t.misses <- t.misses + 1;
+    t.miss_kind.(kind) <- t.miss_kind.(kind) + 1;
+    (match t.on_miss with Some f -> f addr | None -> ());
+    let victim = ref 0 in
+    for i = 0 to t.assoc - 1 do
+      if t.tags.(base + i) = -1 && t.tags.(base + !victim) <> -1 then victim := i
+      else if
+        t.tags.(base + i) <> -1 && t.tags.(base + !victim) <> -1
+        && t.last_use.(base + i) < t.last_use.(base + !victim)
+      then victim := i
+    done;
+    t.tags.(base + !victim) <- line;
+    t.last_use.(base + !victim) <- t.clock
+  end
+
+let name t = t.name
+let accesses t = t.clock
+let misses t = t.misses
+let misses_kind t k = t.miss_kind.(k)
+let accesses_kind t k = t.acc_kind.(k)

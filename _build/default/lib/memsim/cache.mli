@@ -1,0 +1,23 @@
+(** Generic set-associative LRU cache over single byte addresses.
+
+    Used for the L1 data cache, the unified L2 and the board-level cache in
+    the Figure 14 and in-text experiments.  Accesses are classified by a
+    small integer [kind] (see {!L2} for the instruction/data convention)
+    purely for statistics; all kinds share the same storage — which is what
+    makes the paper's L2 observation emerge: packing the code better means
+    instruction lines displace fewer data lines. *)
+
+type t
+
+val create :
+  ?on_miss:(int -> unit) -> name:string -> size_bytes:int -> line_bytes:int -> assoc:int -> unit -> t
+
+val access : t -> kind:int -> int -> unit
+(** [access t ~kind addr] looks up the line containing [addr].
+    [kind] must be 0 or 1. *)
+
+val name : t -> string
+val accesses : t -> int
+val misses : t -> int
+val misses_kind : t -> int -> int
+val accesses_kind : t -> int -> int

@@ -1,0 +1,65 @@
+module Icache = Olayout_cachesim.Icache
+module Run = Olayout_exec.Run
+
+type config = {
+  l1i : Icache.config;
+  l1d_size_bytes : int;
+  l1d_line : int;
+  l1d_assoc : int;
+  l2_size_bytes : int;
+  l2_line : int;
+  l2_assoc : int;
+  itlb_entries : int;
+}
+
+let simos_base =
+  {
+    l1i = Icache.config ~name:"simos-l1i" ~size_kb:64 ~line:64 ~assoc:2 ();
+    l1d_size_bytes = 64 * 1024;
+    l1d_line = 64;
+    l1d_assoc = 2;
+    l2_size_bytes = 1536 * 1024;
+    l2_line = 64;
+    l2_assoc = 6;
+    itlb_entries = 64;
+  }
+
+let kind_instr = 0
+let kind_data = 1
+
+type t = { l1i : Icache.t; l1d : Cache.t; l2 : Cache.t; itlb : Itlb.t }
+
+let create cfg =
+  let l2 =
+    Cache.create ~name:"l2" ~size_bytes:cfg.l2_size_bytes ~line_bytes:cfg.l2_line
+      ~assoc:cfg.l2_assoc ()
+  in
+  (* The unified L2 is physically indexed; L1s are virtually indexed. *)
+  let l1i =
+    Icache.create
+      ~on_miss:(fun addr _owner -> Cache.access l2 ~kind:kind_instr (Phys.translate addr))
+      cfg.l1i
+  in
+  let l1d =
+    Cache.create
+      ~on_miss:(fun addr -> Cache.access l2 ~kind:kind_data (Phys.translate addr))
+      ~name:"l1d" ~size_bytes:cfg.l1d_size_bytes ~line_bytes:cfg.l1d_line
+      ~assoc:cfg.l1d_assoc ()
+  in
+  let itlb = Itlb.create ~entries:cfg.itlb_entries () in
+  { l1i; l1d; l2; itlb }
+
+let fetch_run t run =
+  Itlb.access_run t.itlb run;
+  Icache.access_run t.l1i run
+
+let data_access t addr = Cache.access t.l1d ~kind:kind_data addr
+
+let l1i t = t.l1i
+let itlb t = t.itlb
+let l1d_misses t = Cache.misses t.l1d
+let l2_instr_misses t = Cache.misses_kind t.l2 kind_instr
+let l2_data_misses t = Cache.misses_kind t.l2 kind_data
+let l2_misses t = Cache.misses t.l2
+let l1i_misses t = Icache.misses t.l1i
+let itlb_misses t = Itlb.misses t.itlb

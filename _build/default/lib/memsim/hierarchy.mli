@@ -1,0 +1,45 @@
+(** A two-level memory hierarchy: split L1 I/D caches, an iTLB and a unified
+    L2, wired so L1 misses feed the L2 — the simulated machine of the
+    paper's base SimOS-Alpha configuration (§3.3) used for Figure 14 and for
+    the execution-time model.
+
+    Instruction fetches arrive as runs (from the executor); data references
+    arrive as single addresses (from the workload's data-reference
+    generator).  Because the L2 is unified, better instruction packing
+    reduces data misses too — the paper's "less intuitive" Figure 14
+    observation — and this emerges here with no special handling. *)
+
+type config = {
+  l1i : Olayout_cachesim.Icache.config;
+  l1d_size_bytes : int;
+  l1d_line : int;
+  l1d_assoc : int;
+  l2_size_bytes : int;
+  l2_line : int;
+  l2_assoc : int;
+  itlb_entries : int;
+}
+
+val simos_base : config
+(** The paper's simulated machine: 64 KB 2-way split L1s (64-byte lines),
+    1.5 MB 6-way unified L2 (64-byte lines), 64-entry iTLB. *)
+
+type t
+
+val create : config -> t
+
+val fetch_run : t -> Olayout_exec.Run.t -> unit
+(** Instruction fetch: touches the iTLB and L1I; L1I misses access the L2
+    with the instruction kind. *)
+
+val data_access : t -> int -> unit
+(** Data reference: touches L1D; misses access the L2 with the data kind. *)
+
+val l1i : t -> Olayout_cachesim.Icache.t
+val itlb : t -> Itlb.t
+val l1d_misses : t -> int
+val l2_instr_misses : t -> int
+val l2_data_misses : t -> int
+val l2_misses : t -> int
+val l1i_misses : t -> int
+val itlb_misses : t -> int

@@ -1,0 +1,18 @@
+(** Instruction TLB simulator.
+
+    Fully associative LRU by default (the paper's simulated Alpha has a
+    64-entry fully associative iTLB over 8 KB pages; the 21164 hardware
+    measurement used 48 entries).  Consumes instruction-fetch runs. *)
+
+type t
+
+val create : ?page_bytes:int -> entries:int -> unit -> t
+(** [page_bytes] defaults to 8192 (Alpha).  [entries >= 1]. *)
+
+val access_run : t -> Olayout_exec.Run.t -> unit
+val accesses : t -> int
+(** Page lookups (one per page touched by each run). *)
+
+val misses : t -> int
+val unique_pages : t -> int
+(** Distinct instruction pages ever touched (code footprint in pages). *)

@@ -1,0 +1,25 @@
+let page_bytes = 8192
+let page_shift = 13
+let frame_mask = (1 lsl 17) - 1 (* 128k frames = 1 GB of physical memory *)
+
+(* SplitMix64-style mixer, truncated to the frame space. *)
+let mix page =
+  let z = Int64.add (Int64.of_int page) 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land frame_mask
+
+(* Page coloring (as in Tru64): within a 2 MB virtual region, pages keep
+   consecutive cache colors so contiguous code stays contiguous in a
+   physically indexed cache; distinct regions get independent random color
+   bases and random high frame bits. *)
+let colors = 256
+
+let translate vaddr =
+  let page = vaddr lsr page_shift and offset = vaddr land (page_bytes - 1) in
+  let region = page / colors in
+  let salt = mix region in
+  let color = (page + salt) land (colors - 1) in
+  let high = mix page land frame_mask land lnot (colors - 1) in
+  let frame = high lor color in
+  (frame lsl page_shift) lor offset

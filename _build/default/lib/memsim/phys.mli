@@ -1,0 +1,16 @@
+(** Virtual-to-physical page translation for physically indexed caches.
+
+    Board-level and L2 caches are physically indexed; using virtual
+    addresses directly would create systematic conflicts between the
+    application and kernel text segments that no real system exhibits
+    (frames are assigned essentially arbitrarily).  This deterministic
+    hash-based mapping scatters pages over a 1 GB physical space, like an
+    OS without page coloring — the setup under which the paper's
+    board-cache and L2 numbers were measured. *)
+
+val page_bytes : int
+(** 8 KB, as on Alpha. *)
+
+val translate : int -> int
+(** [translate vaddr] maps the address's page through the pseudo-random
+    frame mapping, preserving the page offset.  Deterministic. *)

@@ -1,0 +1,1 @@
+lib/metrics/footprint.ml: Array List

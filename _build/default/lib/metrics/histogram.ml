@@ -1,0 +1,56 @@
+type t = {
+  counts : (int, int ref) Hashtbl.t;
+  cap : int option;
+  mutable total : int;
+}
+
+let create ?cap () = { counts = Hashtbl.create 64; cap; total = 0 }
+
+let key_of t k =
+  match t.cap with
+  | Some c when k > c -> c
+  | Some _ | None -> k
+
+let add_many t k n =
+  let k = key_of t k in
+  (match Hashtbl.find_opt t.counts k with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counts k (ref n));
+  t.total <- t.total + n
+
+let add t k = add_many t k 1
+
+let count t k =
+  match Hashtbl.find_opt t.counts (key_of t k) with Some r -> !r | None -> 0
+
+let total t = t.total
+
+let fraction t k =
+  if t.total = 0 then 0.0 else float_of_int (count t k) /. float_of_int t.total
+
+let mean t =
+  if t.total = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    Hashtbl.iter (fun k r -> sum := !sum +. (float_of_int k *. float_of_int !r)) t.counts;
+    !sum /. float_of_int t.total
+  end
+
+let max_key t = Hashtbl.fold (fun k _ acc -> max k acc) t.counts (-1)
+
+let to_sorted_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge dst src = Hashtbl.iter (fun k r -> add_many dst k !r) src.counts
+
+let clear t =
+  Hashtbl.reset t.counts;
+  t.total <- 0
+
+let log2_bucket n =
+  if n <= 1 then 0
+  else begin
+    let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+    go n 0
+  end

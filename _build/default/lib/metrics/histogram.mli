@@ -1,0 +1,45 @@
+(** Integer-keyed histograms.
+
+    Used throughout the evaluation for the paper's distribution figures:
+    sequence lengths (Fig 8b), unique-word usage (Fig 9), per-word reuse
+    (Fig 10) and cache-line lifetimes (Fig 11). *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [create ?cap ()] makes an empty histogram.  When [cap] is given, keys
+    above [cap] are accumulated into the [cap] bucket (the paper's "15+"
+    style last bucket). *)
+
+val add : t -> int -> unit
+(** [add t k] increments bucket [k] by one. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t k n] increments bucket [k] by [n]. *)
+
+val count : t -> int -> int
+(** Occurrences recorded for key [k] (after capping). *)
+
+val total : t -> int
+(** Total number of recorded observations. *)
+
+val fraction : t -> int -> float
+(** [fraction t k] is [count t k / total t]; [0.] when empty. *)
+
+val mean : t -> float
+(** Observation-weighted mean key; [0.] when empty. *)
+
+val max_key : t -> int
+(** Largest key with a non-zero count; [-1] when empty. *)
+
+val to_sorted_list : t -> (int * int) list
+(** All (key, count) pairs with non-zero count in increasing key order. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src]'s counts into [dst]. *)
+
+val clear : t -> unit
+
+val log2_bucket : int -> int
+(** [log2_bucket n] is [floor (log2 n)] for positive [n], and 0 for [n <= 1].
+    Used by the line-lifetime figure, which buckets by powers of two. *)

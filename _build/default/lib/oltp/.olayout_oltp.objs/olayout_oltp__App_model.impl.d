@@ -1,0 +1,1 @@
+lib/oltp/app_model.ml: Hashtbl Lazy List Olayout_codegen Olayout_db Olayout_ir Olayout_util Printf

@@ -1,0 +1,1 @@
+lib/oltp/dss.ml: Array Int64 List Olayout_codegen Olayout_core Olayout_db Olayout_exec Olayout_profile Olayout_util Printf

@@ -1,0 +1,1 @@
+lib/oltp/dss.mli: Olayout_codegen Olayout_core Olayout_exec Olayout_profile

@@ -1,0 +1,1 @@
+lib/oltp/kernel_model.ml: List Olayout_codegen Olayout_db Olayout_ir Olayout_util Printf

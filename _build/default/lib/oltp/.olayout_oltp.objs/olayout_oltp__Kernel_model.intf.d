@@ -1,0 +1,1 @@
+lib/oltp/kernel_model.mli: Olayout_codegen Olayout_db Olayout_ir

@@ -1,0 +1,1 @@
+lib/oltp/server.ml: App_model Effect Kernel_model List Olayout_codegen Olayout_core Olayout_db Olayout_exec Olayout_util Queue

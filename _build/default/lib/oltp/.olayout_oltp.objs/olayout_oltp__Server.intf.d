@@ -1,0 +1,1 @@
+lib/oltp/server.mli: Olayout_codegen Olayout_core Olayout_db Olayout_exec

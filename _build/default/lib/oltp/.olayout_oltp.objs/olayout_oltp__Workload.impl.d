@@ -1,0 +1,1 @@
+lib/oltp/workload.ml: App_model Kernel_model Olayout_codegen Olayout_core Olayout_profile Server

@@ -1,0 +1,1 @@
+lib/oltp/workload.mli: Olayout_codegen Olayout_core Olayout_db Olayout_profile

@@ -1,0 +1,464 @@
+module Shape = Olayout_codegen.Shape
+module Gen = Olayout_codegen.Gen
+module Binary = Olayout_codegen.Binary
+module Rng = Olayout_util.Rng
+module Hooks = Olayout_db.Hooks
+
+let base_addr = 0x0120_0000
+
+let s n = Shape.Straight n
+let loop ?hint avg body = Shape.Loop { avg_iters = avg; body; hint }
+
+(* Placeholder callee ids used inside explicit prefixes; resolved
+   clone-locally (see [resolve]). *)
+let placeholder_names =
+  [
+    (-1, "bt_node_search");
+    (-2, "bt_split_leaf");
+    (-3, "log_copy");
+    (-4, "latch_contend");
+    (-5, "mem_refill");
+    (-6, "heap_extend");
+  ]
+
+(* A cold slow path behind a check: taken only when the fast path fails. *)
+let cold_call ?(p = 0.03) n extra =
+  Shape.If_cold { p_error = p; error = [ Shape.Call n; s extra ] }
+
+type tpl = { name : string; size : int; calls : string list; prefix : Shape.stmt list }
+
+type group = { clones : int; procs : tpl list }
+
+let t name size calls prefix = { name; size; calls; prefix }
+
+(* The hot inventory, grouped by subsystem.  Groups with [clones > 1] are
+   instantiated several times (name@k): a real server has many distinct
+   compiled paths through each subsystem (per table, per page type, per
+   statement), which is what gives OLTP its flat execution profile and
+   large footprint (paper Fig 3).  Groups may call procedures of earlier
+   groups only (keeps the call graph acyclic). *)
+let groups : group list =
+  [
+    (* ---------- utility leaves (shared, not inlined) ---------- *)
+    { clones = 1;
+      procs =
+        [
+          t "u_hash" 110 [] [];
+          t "u_memcpy" 50 [] [ loop ~hint:"bytes" 2.5 [ s 16 ] ];
+          t "u_memcmp" 60 [] [ loop 2.0 [ s 12 ] ];
+          t "u_bsearch" 80 [] [ loop ~hint:"probes" 4.0 [ s 7 ] ];
+          t "u_crc" 70 [] [ loop 3.0 [ s 14 ] ];
+          t "u_list_link" 65 [] [];
+          t "u_list_unlink" 60 [] [];
+          t "u_rand" 70 [] [];
+          t "u_strlen" 45 [] [ loop 4.0 [ s 3 ] ];
+          t "u_bitmap_set" 55 [] [];
+          t "u_qsort_part" 200 [] [ loop 5.0 [ s 8 ] ];
+          t "u_fmt_int" 120 [] [];
+        ];
+    };
+    (* ---------- latches and memory ---------- *)
+    { clones = 1;
+      procs =
+        [
+          t "latch_contend" 240 [ "u_rand" ] [ loop 3.0 [ s 10 ] ];
+          t "latch_acquire" 50 [] [ cold_call ~p:0.05 (-4) 8 ];
+          t "latch_release" 45 [] [];
+          t "mem_refill" 460 [ "u_list_link"; "u_bitmap_set" ] [];
+          t "mem_alloc" 190 [] [ cold_call ~p:0.04 (-5) 10 ];
+          t "mem_free" 110 [ "u_list_unlink" ] [];
+          t "mem_ctx_push" 100 [ "mem_alloc" ] [];
+          t "mem_ctx_pop" 80 [ "mem_free" ] [];
+        ];
+    };
+    (* ---------- inlined runtime ----------
+       Compilers inline memcpy/hash/compare/latch fast paths at their call
+       sites; modeling them as per-subsystem clones spreads their dynamic
+       weight over many copies, exactly like inlining does in the real
+       binary (and as the paper's flat profile requires). *)
+    { clones = 4;
+      procs =
+        [
+          t "rt_memcpy" 70 [] [ loop ~hint:"bytes" 2.5 [ s 16 ] ];
+          t "rt_hash" 100 [] [];
+          t "rt_cmp" 70 [] [ loop 2.0 [ s 12 ] ];
+          t "rt_crc" 90 [] [ loop 3.0 [ s 14 ] ];
+          t "rt_latch_get" 55 [] [ cold_call ~p:0.05 (-4) 8 ];
+          t "rt_latch_put" 45 [] [];
+        ];
+    };
+    (* ---------- page manager (per page-type variants) ---------- *)
+    { clones = 3;
+      procs =
+        [
+          t "page_checksum" 130 [ "rt_crc" ] [];
+          t "page_read_slot" 260 [ "rt_cmp" ] [];
+          t "page_insert" 290 [ "rt_memcpy" ] [];
+          t "page_update" 320 [ "rt_memcpy" ] [];
+          t "page_compact" 560 [ "rt_memcpy"; "u_qsort_part" ] [];
+          t "page_init" 180 [ "u_bitmap_set" ] [];
+          t "slot_dir_scan" 120 [] [ loop 3.0 [ s 6 ] ];
+        ];
+    };
+    (* ---------- buffer cache ---------- *)
+    { clones = 8;
+      procs =
+        [
+          t "buf_stat" 100 [] [];
+          t "buf_hash_lookup" 270 [ "rt_hash" ] [ loop 2.0 [ s 8 ] ];
+          t "buf_lru_touch" 210 [ "rt_latch_get"; "rt_latch_put"; "u_list_link" ] [];
+          t "buf_replace" 470 [ "u_list_unlink"; "buf_stat"; "page_checksum" ]
+            [ loop 5.0 [ s 9 ] ];
+          t "buf_install" 240 [ "rt_hash"; "u_list_link" ] [];
+          t "buf_unpin" 110 [] [];
+          t "op_buf_hit" 560 [ "buf_hash_lookup"; "buf_lru_touch"; "buf_unpin" ] [];
+          t "op_buf_miss" 540 [ "buf_hash_lookup"; "buf_replace"; "buf_install"; "buf_stat" ]
+            [];
+        ];
+    };
+    (* ---------- B-tree ---------- *)
+    { clones = 4;
+      procs =
+        [
+          t "bt_compare" 80 [] [];
+          t "bt_node_search" 350 [ "u_bsearch"; "bt_compare" ] [];
+          t "bt_pin_path" 290 [ "rt_latch_get"; "rt_latch_put" ] [];
+          t "bt_leaf_insert" 330 [ "rt_memcpy"; "slot_dir_scan" ] [];
+          t "bt_split_leaf" 560 [ "page_init"; "rt_memcpy"; "page_checksum" ] [];
+          t "bt_split_internal" 470 [ "page_init"; "rt_memcpy" ] [];
+          t "op_bt_search" 880 [ "bt_pin_path"; "bt_compare" ]
+            [ loop ~hint:"descend" 2.5 [ Shape.Call (-1); s 14 ] ];
+          t "op_bt_insert" 800 [ "bt_pin_path"; "bt_leaf_insert" ]
+            [
+              loop ~hint:"descend" 2.5 [ Shape.Call (-1); s 12 ];
+              loop ~hint:"splits" 2.0 [ Shape.Call (-2); s 18 ];
+            ];
+        ];
+    };
+    (* ---------- lock manager ---------- *)
+    { clones = 3;
+      procs =
+        [
+          t "lock_hash" 160 [ "rt_hash" ] [];
+          t "lock_grant" 270 [ "u_list_link" ] [];
+          t "lock_queue" 280 [ "u_list_link"; "u_rand" ] [];
+          t "lock_wakeup" 220 [ "u_list_unlink" ] [];
+          t "lock_deadlock_scan" 680 [ "u_bitmap_set" ] [ loop 4.0 [ s 12 ] ];
+          t "op_lock_fast" 580
+            [ "rt_latch_get"; "lock_hash"; "lock_grant"; "rt_latch_put" ] [];
+          t "op_lock_wait" 600
+            [ "rt_latch_get"; "lock_hash"; "lock_queue"; "lock_deadlock_scan";
+              "rt_latch_put" ] [];
+          t "op_lock_release" 500 [ "rt_latch_get"; "lock_wakeup"; "rt_latch_put" ]
+            [ loop ~hint:"held" 4.0 [ s 11 ] ];
+        ];
+    };
+    (* ---------- log manager ---------- *)
+    { clones = 3;
+      procs =
+        [
+          t "log_header" 210 [] [];
+          t "log_reserve" 250 [ "rt_latch_get"; "rt_latch_put" ] [];
+          t "log_copy" 120 [ "rt_memcpy" ] [];
+          t "log_crc" 110 [ "rt_crc" ] [];
+          t "log_switch" 370 [ "page_init" ] [];
+          t "op_log_append" 640 [ "log_reserve"; "log_header"; "log_crc" ]
+            [ loop ~hint:"chunks" 3.0 [ Shape.Call (-3); s 9 ] ];
+          t "op_log_fsync" 580 [ "rt_latch_get"; "rt_latch_put"; "log_switch" ]
+            [ loop 2.0 [ s 15 ] ];
+        ];
+    };
+    (* ---------- heap ---------- *)
+    { clones = 4;
+      procs =
+        [
+          t "heap_find_page" 190 [ "u_bitmap_set" ] [];
+          t "heap_extend" 410 [ "page_init" ] [];
+          t "op_heap_insert" 520 [ "heap_find_page"; "page_insert" ] [ cold_call (-6) 12 ];
+          t "op_heap_fetch" 540 [ "page_read_slot" ] [];
+          t "op_heap_update" 600 [ "page_update" ] [];
+        ];
+    };
+    (* ---------- catalog / misc services ---------- *)
+    { clones = 1;
+      procs =
+        [
+          t "cat_lookup" 360 [ "u_hash"; "u_memcmp" ] [];
+          t "seq_next" 140 [ "latch_acquire"; "latch_release" ] [];
+          t "stat_update" 170 [] [];
+          t "trace_event" 310 [ "u_fmt_int" ] [];
+          t "err_report" 760 [ "u_fmt_int"; "u_strlen" ] [];
+          t "dict_cache" 430 [ "u_hash"; "u_memcmp" ] [];
+          t "cursor_cache" 380 [ "u_hash"; "u_list_link" ] [];
+          t "prof_hook" 120 [] [];
+        ];
+    };
+    (* ---------- IPC / session ---------- *)
+    { clones = 2;
+      procs =
+        [
+          t "net_checksum" 160 [ "rt_crc" ] [];
+          t "msg_unpack" 340 [ "rt_memcpy"; "net_checksum" ] [];
+          t "msg_pack" 310 [ "rt_memcpy"; "net_checksum" ] [];
+          t "session_ctx" 280 [ "rt_hash" ] [];
+          t "ipc_recv" 540 [ "msg_unpack"; "session_ctx"; "mem_ctx_push" ] [];
+          t "ipc_send" 490 [ "msg_pack"; "mem_ctx_pop" ] [];
+        ];
+    };
+    (* ---------- SQL layer ---------- *)
+    { clones = 3;
+      procs =
+        [
+          t "plan_cache_probe" 510 [ "rt_hash"; "rt_cmp"; "cursor_cache" ] [];
+          t "sql_audit" 240 [ "stat_update" ] [];
+          t "sql_parse_cached" 1500
+            [ "rt_hash"; "u_strlen"; "plan_cache_probe"; "dict_cache" ] [];
+          t "sql_semantic" 960 [ "cat_lookup"; "dict_cache" ] [];
+          t "sql_plan_lookup" 580 [ "plan_cache_probe" ] [];
+          t "sql_bind" 460 [ "rt_memcpy"; "session_ctx" ] [];
+          t "sql_cursor_open" 690 [ "cursor_cache"; "mem_alloc" ] [];
+          t "sql_cursor_close" 340 [ "cursor_cache"; "mem_free" ] [];
+          t "sql_fetch" 620 [ "session_ctx" ] [];
+        ];
+    };
+    (* ---------- executor ---------- *)
+    { clones = 3;
+      procs =
+        [
+          t "exec_datum_copy" 230 [ "rt_memcpy" ] [];
+          t "exec_pred_eval" 420 [ "bt_compare" ] [];
+          t "exec_proj" 330 [ "exec_datum_copy" ] [];
+          t "exec_row_expr" 540 [ "exec_pred_eval"; "exec_datum_copy" ] [];
+          t "exec_upd_account" 1000 [ "exec_row_expr"; "exec_proj"; "sql_audit" ] [];
+          t "exec_upd_teller" 920 [ "exec_row_expr"; "exec_proj" ] [];
+          t "exec_upd_branch" 880 [ "exec_row_expr"; "exec_proj" ] [];
+          t "exec_ins_history" 840 [ "exec_row_expr"; "exec_datum_copy"; "seq_next" ] [];
+          t "exec_dispatch" 470
+            [ "exec_upd_account"; "exec_upd_teller"; "exec_upd_branch"; "exec_ins_history" ]
+            [];
+        ];
+    };
+    (* ---------- warm service tail ----------
+       Paths exercised every few dozen operations (statistics flushes,
+       session housekeeping, dictionary refreshes, cursor aging...): they
+       carry a few percent of execution spread over ~150 KB of code, giving
+       the profile the paper's long warm tail (99% of execution at ~200 KB,
+       Fig 3). *)
+    { clones = 1;
+      procs =
+        List.init 96 (fun i ->
+            t (Printf.sprintf "svc_tail_%02d" i)
+              (300 + (97 * i mod 550))
+              (match i mod 4 with
+              | 0 -> [ "u_hash"; "u_list_link" ]
+              | 1 -> [ "u_memcpy"; "u_fmt_int" ]
+              | 2 -> [ "stat_update"; "u_memcmp" ]
+              | _ -> [ "cursor_cache"; "u_crc" ])
+              []);
+    };
+    (* ---------- transaction layer and entry points ---------- *)
+    { clones = 1;
+      procs =
+        [
+          t "txn_timestamp" 90 [] [];
+          t "txn_alloc" 250 [ "mem_alloc"; "txn_timestamp" ] [];
+          t "undo_push" 170 [ "mem_alloc"; "u_memcpy" ] [];
+          t "undo_apply" 370 [ "u_memcpy" ] [ loop 4.0 [ s 10 ] ];
+          t "txn_snapshot" 280 [ "txn_timestamp" ] [];
+          t "sql_prepare_all" 330
+            [ "sql_parse_cached"; "sql_semantic"; "sql_plan_lookup"; "sql_bind" ]
+            [ loop 4.0 [ s 10 ] ];
+          t "op_txn_begin" 980
+            [ "ipc_recv"; "txn_alloc"; "txn_snapshot"; "sql_prepare_all"; "sql_cursor_open";
+              "exec_dispatch"; "prof_hook" ] [];
+          t "op_txn_commit" 1200 [ "sql_cursor_close"; "ipc_send"; "stat_update"; "sql_fetch" ]
+            [];
+          t "op_txn_abort" 680 [ "undo_apply"; "trace_event"; "err_report" ] [];
+        ];
+    };
+  ]
+let mangle name k clones = if clones <= 1 then name else Printf.sprintf "%s@%d" name k
+
+(* clones-per-base-name table, for cross-group resolution. *)
+let clone_counts =
+  lazy
+    (let tbl = Hashtbl.create 128 in
+     List.iter
+       (fun g -> List.iter (fun tpl -> Hashtbl.replace tbl tpl.name g.clones) g.procs)
+       groups;
+     tbl)
+
+(* Resolve a base callee name from clone [k] of the calling group: same
+   group -> same clone; other group -> clone (k mod its clone count). *)
+let resolve ~local_names ~k name =
+  let counts = Lazy.force clone_counts in
+  match Hashtbl.find_opt counts name with
+  | None -> invalid_arg (Printf.sprintf "App_model: unknown callee %s" name)
+  | Some m ->
+      if List.mem name local_names then mangle name k m else mangle name (k mod m) m
+
+let patch_placeholders resolve_name stmts =
+  let rec patch = function
+    | Shape.Call n when n < 0 -> Shape.Call (resolve_name (List.assoc n placeholder_names))
+    | Shape.Loop l -> Shape.Loop { l with body = List.map patch l.body }
+    | Shape.If_cold c -> Shape.If_cold { c with error = List.map patch c.error }
+    | Shape.If_else c ->
+        Shape.If_else
+          { c with then_ = List.map patch c.then_; else_ = List.map patch c.else_ }
+    | Shape.Switch { arms } ->
+        Shape.Switch { arms = List.map (fun (w, b) -> (w, List.map patch b)) arms }
+    | (Shape.Straight _ | Shape.Call _ | Shape.Return) as x -> x
+  in
+  List.map patch stmts
+
+let cold_count = 240
+
+let hot_proc_names () =
+  List.concat_map
+    (fun g ->
+      List.concat_map
+        (fun tpl -> List.init g.clones (fun k -> mangle tpl.name k g.clones))
+        g.procs)
+    groups
+
+let build ~seed =
+  let rng = Rng.create ((seed * 2) + 7) in
+  let hot_defs =
+    List.concat_map
+      (fun g ->
+        let local_names = List.map (fun tpl -> tpl.name) g.procs in
+        List.concat_map
+          (fun k ->
+            List.map
+              (fun tpl ->
+                let body_rng = Rng.split rng in
+                let size =
+                  (* Clones jitter in size, like distinct compiled paths. *)
+                  tpl.size + (if g.clones > 1 then Rng.int body_rng (tpl.size / 4 + 1) else 0)
+                in
+                {
+                  Binary.name = mangle tpl.name k g.clones;
+                  mk_body =
+                    (fun pid_of ->
+                      let resolve_name n = pid_of (resolve ~local_names ~k n) in
+                      patch_placeholders resolve_name tpl.prefix
+                      @ Gen.random_body body_rng ~target_instrs:size
+                          ~calls:(List.map resolve_name tpl.calls) ());
+                })
+              g.procs)
+          (List.init g.clones (fun k -> k)))
+      groups
+  in
+  let cold_defs =
+    List.init cold_count (fun i ->
+        let body_rng = Rng.split rng in
+        {
+          Binary.name = Printf.sprintf "cold_%03d" i;
+          mk_body =
+            (fun _ -> Gen.cold_body body_rng ~target_instrs:(300 + Rng.int body_rng 900));
+        })
+  in
+  (* Link order: hot functions scattered among cold ones, as in a real
+     27 MB server binary where hot code is a thin slice of many objects. *)
+  let rec interleave hot cold =
+    match (hot, cold) with
+    | [], rest -> rest
+    | rest, [] -> rest
+    | h :: hs, cold ->
+        let take = min (List.length cold) 1 in
+        let now, later =
+          (List.filteri (fun i _ -> i < take) cold, List.filteri (fun i _ -> i >= take) cold)
+        in
+        (h :: now) @ interleave hs later
+  in
+  Binary.build ~name:"oltp-app" ~base_addr (interleave hot_defs cold_defs)
+
+type episode = { proc : int; hints : (Olayout_ir.Block.id * int) list }
+
+(* Stateful dispatcher: rotates among the clone variants of each entry
+   point, flattening the profile the way a real server's many distinct code
+   paths do. *)
+type dispatcher = {
+  b : Binary.built;
+  counters : (string, int ref) Hashtbl.t;
+  mutable ops_seen : int;
+  mutable tail_next : int;
+}
+
+let dispatcher b = { b; counters = Hashtbl.create 32; ops_seen = 0; tail_next = 0 }
+
+(* Warm-tail cadence: one service-path episode every [tail_period] engine
+   events, rotating through the svc_tail procedures. *)
+let tail_period = 16
+let tail_procs = 96
+
+let variant d name =
+  let counts = Lazy.force clone_counts in
+  let m = match Hashtbl.find_opt counts name with Some m -> m | None -> 1 in
+  if m <= 1 then name
+  else begin
+    let c =
+      match Hashtbl.find_opt d.counters name with
+      | Some r -> r
+      | None ->
+          let r = ref 0 in
+          Hashtbl.add d.counters name r;
+          r
+    in
+    let k = !c mod m in
+    incr c;
+    mangle name k m
+  end
+
+let ep d name = { proc = Binary.pid_of d.b (variant d name); hints = [] }
+
+let ep_hints d name hints =
+  let v = variant d name in
+  let resolved =
+    List.map
+      (fun (hint_name, n) ->
+        let block, _ = Binary.hint d.b ~proc:v ~name:hint_name in
+        (block, n))
+      hints
+  in
+  { proc = Binary.pid_of d.b v; hints = resolved }
+
+let tail_episodes d (op : Hooks.op) =
+  match op with
+  | Hooks.Page_touch _ | Hooks.Disk_read _ | Hooks.Disk_write _ -> []
+  | _ ->
+      d.ops_seen <- d.ops_seen + 1;
+      if d.ops_seen mod tail_period = 0 then begin
+        let i = d.tail_next mod tail_procs in
+        d.tail_next <- d.tail_next + 1;
+        [ ep d (Printf.sprintf "svc_tail_%02d" i) ]
+      end
+      else []
+
+let dispatch d (op : Hooks.op) =
+  tail_episodes d op
+  @
+  match op with
+  | Hooks.Txn_begin -> [ ep d "op_txn_begin" ]
+  | Hooks.Txn_commit _ -> [ ep d "op_txn_commit" ]
+  | Hooks.Txn_abort -> [ ep d "op_txn_abort" ]
+  | Hooks.Buffer_hit -> [ ep d "op_buf_hit" ]
+  | Hooks.Buffer_miss -> [ ep d "op_buf_miss" ]
+  | Hooks.Btree_search { depth; _ } ->
+      [ ep_hints d "op_bt_search" [ ("descend", max 0 (depth - 1)) ] ]
+  | Hooks.Btree_insert { depth; splits } ->
+      [ ep_hints d "op_bt_insert" [ ("descend", max 0 (depth - 1)); ("splits", splits) ] ]
+  | Hooks.Heap_insert -> [ ep d "op_heap_insert" ]
+  | Hooks.Heap_fetch -> [ ep d "op_heap_fetch" ]
+  | Hooks.Heap_update -> [ ep d "op_heap_update" ]
+  | Hooks.Lock_acquire { waited } ->
+      if waited then [ ep d "op_lock_wait" ] else [ ep d "op_lock_fast" ]
+  | Hooks.Lock_release { held } -> [ ep_hints d "op_lock_release" [ ("held", max 1 held) ] ]
+  | Hooks.Log_append { bytes } ->
+      [ ep_hints d "op_log_append" [ ("chunks", max 1 (bytes / 48)) ] ]
+  | Hooks.Log_fsync _ -> [ ep d "op_log_fsync" ]
+  | Hooks.Disk_read _ | Hooks.Disk_write _ ->
+      (* Device time is kernel time; the application side is already counted
+         in the buffer-miss / fsync paths. *)
+      []
+  | Hooks.Page_touch _ -> []

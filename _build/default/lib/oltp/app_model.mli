@@ -1,0 +1,34 @@
+(** The synthetic OLTP application binary (the Oracle 8.0.4 stand-in) and
+    the mapping from database-engine events to procedure invocations.
+
+    The inventory mirrors a database server's module structure — SQL layer,
+    executor, B-tree access, buffer cache, lock manager, log manager, heap
+    and page managers, transaction layer, IPC, latches, memory allocator,
+    and shared utility leaves — with realistic per-function sizes, inline
+    error paths, and cold bulk procedures interleaved in link order.
+
+    Semantic parameters from the real engine (B-tree descent depth, split
+    counts, lock counts, log record sizes) pin loop trip counts in the
+    corresponding procedures via walker hints, so the instruction stream is
+    driven by real data-structure state (DESIGN.md §2). *)
+
+val base_addr : int
+
+val build : seed:int -> Olayout_codegen.Binary.built
+(** Deterministic application binary. *)
+
+type episode = { proc : int; hints : (Olayout_ir.Block.id * int) list }
+
+type dispatcher
+(** Stateful event-to-procedure mapping: entry points with several compiled
+    variants (clones) are rotated round-robin, like a server whose many
+    distinct code paths share the work. *)
+
+val dispatcher : Olayout_codegen.Binary.built -> dispatcher
+
+val dispatch : dispatcher -> Olayout_db.Hooks.op -> episode list
+(** Application procedures to walk for one engine event. *)
+
+val hot_proc_names : unit -> string list
+(** Mangled names of the hot inventory, all clones (tests: coverage,
+    footprint calibration). *)

@@ -1,0 +1,185 @@
+module Binary = Olayout_codegen.Binary
+module Shape = Olayout_codegen.Shape
+module Gen = Olayout_codegen.Gen
+module Placement = Olayout_core.Placement
+module Profile = Olayout_profile.Profile
+module Run = Olayout_exec.Run
+module Walk = Olayout_exec.Walk
+module Render = Olayout_exec.Render
+module Rng = Olayout_util.Rng
+module Hooks = Olayout_db.Hooks
+module Env = Olayout_db.Env
+module Table = Olayout_db.Table
+module Record = Olayout_db.Record
+
+let s n = Shape.Straight n
+let loop ?hint avg body = Shape.Loop { avg_iters = avg; body; hint }
+
+(* A compact query engine: ~20 hot procedures, most of the time in a few
+   scan loops — the opposite of the OLTP profile. *)
+let inventory : (string * int * string list * Shape.stmt list) list =
+  [
+    ("q_memcmp", 40, [], [ loop 2.0 [ s 10 ] ]);
+    ("q_hash", 70, [], []);
+    ("q_datum", 50, [], []);
+    ("q_pred_eval", 120, [ "q_datum"; "q_memcmp" ], []);
+    ("q_agg_update", 80, [ "q_datum" ], []);
+    ("q_group_find", 90, [ "q_hash" ], []);
+    ("q_row_decode", 110, [ "q_datum" ], []);
+    ("q_page_next", 100, [], []);
+    ("op_scan_row", 160, [ "q_row_decode"; "q_pred_eval"; "q_agg_update"; "q_group_find" ], []);
+    ("op_range_row", 140, [ "q_row_decode"; "q_agg_update" ], []);
+    ("bt_probe_node", 130, [ "q_memcmp" ], []);
+    ("op_probe", 260, [ "q_row_decode"; "q_agg_update" ],
+     [ loop ~hint:"descend" 2.5 [ Shape.Call (-1); s 10 ] ]);
+    ("op_buf_touch", 120, [ "q_hash" ], []);
+    ("q_spool_write", 150, [ "q_datum" ], []);
+    ("op_query_start", 420, [ "q_hash"; "q_group_find"; "q_spool_write" ], []);
+    ("op_query_end", 300, [ "q_spool_write" ], []);
+  ]
+
+let patch pid_of stmts =
+  let rec go = function
+    | Shape.Call (-1) -> Shape.Call (pid_of "bt_probe_node")
+    | Shape.Loop l -> Shape.Loop { l with body = List.map go l.body }
+    | Shape.If_cold c -> Shape.If_cold { c with error = List.map go c.error }
+    | Shape.If_else c ->
+        Shape.If_else { c with then_ = List.map go c.then_; else_ = List.map go c.else_ }
+    | Shape.Switch { arms } -> Shape.Switch { arms = List.map (fun (w, b) -> (w, List.map go b)) arms }
+    | (Shape.Straight _ | Shape.Call _ | Shape.Return) as x -> x
+  in
+  List.map go stmts
+
+let build_binary ~seed =
+  let rng = Rng.create ((seed * 3) + 11) in
+  let hot =
+    List.map
+      (fun (name, size, callees, prefix) ->
+        let body_rng = Rng.split rng in
+        {
+          Binary.name;
+          mk_body =
+            (fun pid_of ->
+              patch pid_of prefix
+              @ Gen.random_body body_rng ~target_instrs:size
+                  ~calls:(List.map pid_of callees) ());
+        })
+      inventory
+  in
+  let cold =
+    List.init 40 (fun i ->
+        let body_rng = Rng.split rng in
+        {
+          Binary.name = Printf.sprintf "q_cold_%02d" i;
+          mk_body = (fun _ -> Gen.cold_body body_rng ~target_instrs:(200 + Rng.int body_rng 500));
+        })
+  in
+  Binary.build ~name:"dss-engine" ~base_addr:0x0200_0000 (hot @ cold)
+
+(* sales: (id, region, amount) + btree on id; customers: (id, discount). *)
+let sales_schema = { Record.name = "sales"; fields = 3; pad = 60 }
+let customer_schema = { Record.name = "customer"; fields = 2; pad = 40 }
+let regions = 8
+
+type t = {
+  binary : Binary.built;
+  env : Env.t;
+  sales : Table.t;
+  customers : Table.t;
+  rows : int;
+}
+
+let binary t = t.binary
+
+let create ?(rows = 20_000) ?(seed = 7) () =
+  let env = Env.create ~frames:4096 Hooks.null in
+  let sales =
+    Table.create env ~id:0 ~name:"sales" ~schema:sales_schema ~indexed:true ~key_field:0
+  in
+  let customers =
+    Table.create env ~id:1 ~name:"customer" ~schema:customer_schema ~indexed:true ~key_field:0
+  in
+  let rng = Rng.create (seed + 101) in
+  for i = 0 to (rows / 20) - 1 do
+    ignore
+      (Table.insert_raw customers [| Int64.of_int i; Int64.of_int (Rng.int rng 30) |])
+  done;
+  for i = 0 to rows - 1 do
+    ignore
+      (Table.insert_raw sales
+         [|
+           Int64.of_int i;
+           Int64.of_int (Rng.int rng regions);
+           Int64.of_int (Rng.int rng 10_000);
+         |])
+  done;
+  { binary = build_binary ~seed; env; sales; customers; rows }
+
+type result = {
+  rows_scanned : int;
+  probes : int;
+  app_instrs : int;
+  q1_groups : (int * int64) list;
+}
+
+let run_queries t ?(repeat = 3) ?(seed = 3) ?(renders = []) ?(app_sinks = []) () =
+  let walk = Walk.create ~prog:(Binary.prog t.binary) ~rng:(Rng.create seed) in
+  let mergers =
+    List.map
+      (fun (placement, emit) ->
+        let m = Render.merger ~emit in
+        Walk.add_sink walk (Render.sink (Render.create ~placement ~owner:Run.App m));
+        m)
+      renders
+  in
+  List.iter (Walk.add_sink walk) app_sinks;
+  let pid name = Binary.pid_of t.binary name in
+  let call ?hints name = Walk.call walk ?hints (pid name) in
+  let descend_hint depth =
+    let block, _ = Binary.hint t.binary ~proc:"op_probe" ~name:"descend" in
+    [ (block, max 0 (depth - 1)) ]
+  in
+  let rows_scanned = ref 0 and probes = ref 0 in
+  let groups = Array.make regions 0L in
+  let customer_probe_hints =
+    descend_hint (match Table.index_height t.customers with Some h -> h | None -> 1)
+  in
+  for _ = 1 to repeat do
+    (* Q1: full scan + filter + grouped sum. *)
+    call "op_query_start";
+    Table.iter t.sales (fun _ row ->
+        incr rows_scanned;
+        if !rows_scanned mod 80 = 0 then begin
+          call "q_page_next";
+          call "op_buf_touch"
+        end;
+        call "op_scan_row";
+        if Int64.to_int row.(2) > 2000 then begin
+          let r = Int64.to_int row.(1) in
+          groups.(r) <- Int64.add groups.(r) row.(2)
+        end);
+    call "op_query_end";
+    (* Q2: B+tree range scan over a tenth of the key space. *)
+    call "op_query_start";
+    Table.iter_key_range t.sales ~lo:0L ~hi:(Int64.of_int ((t.rows / 10) - 1))
+      (fun _ _row ->
+        incr rows_scanned;
+        call "op_range_row");
+    call "op_query_end";
+    (* Q3: index nested-loop join: scan a slice of sales, probe customers. *)
+    call "op_query_start";
+    Table.iter_key_range t.sales ~lo:0L ~hi:(Int64.of_int ((t.rows / 20) - 1))
+      (fun _ row ->
+        let cust = Int64.rem row.(0) (Int64.of_int (max 1 (t.rows / 20))) in
+        incr probes;
+        call ~hints:customer_probe_hints "op_probe";
+        ignore (Table.lookup t.customers cust));
+    call "op_query_end"
+  done;
+  List.iter Render.flush mergers;
+  {
+    rows_scanned = !rows_scanned;
+    probes = !probes;
+    app_instrs = Walk.instrs_executed walk;
+    q1_groups = Array.to_list groups |> List.mapi (fun i v -> (i, v));
+  }

@@ -1,0 +1,44 @@
+(** A decision-support (DSS) workload on the same database engine.
+
+    The paper contrasts OLTP with DSS throughout: DSS spends its time in
+    tight scan/aggregate loops over few functions, so its instruction
+    footprint is small and layout optimization buys little (§6, citing the
+    authors' earlier DSS work).  This module builds a small query-engine
+    binary and runs three real queries against a generated sales table:
+
+    - Q1: full table scan with a predicate and grouped aggregation;
+    - Q2: B+tree range scan with aggregation;
+    - Q3: index nested-loop join (scan orders, probe customers by key).
+
+    The [dss] experiment measures the same layout pipeline on this stream. *)
+
+module Binary = Olayout_codegen.Binary
+module Placement = Olayout_core.Placement
+module Profile = Olayout_profile.Profile
+module Run = Olayout_exec.Run
+
+type t
+
+val create : ?rows:int -> ?seed:int -> unit -> t
+(** Build the query-engine binary and load the sales data (default 20,000
+    rows). *)
+
+val binary : t -> Binary.built
+
+type result = {
+  rows_scanned : int;
+  probes : int;
+  app_instrs : int;
+  q1_groups : (int * int64) list;  (** region -> sum, for correctness checks *)
+}
+
+val run_queries :
+  t ->
+  ?repeat:int ->
+  ?seed:int ->
+  ?renders:(Placement.t * (Run.t -> unit)) list ->
+  ?app_sinks:Olayout_exec.Walk.sink list ->
+  unit ->
+  result
+(** Execute the three queries [repeat] times (default 3), rendering the
+    instruction stream under each placement. *)

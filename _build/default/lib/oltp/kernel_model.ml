@@ -1,0 +1,130 @@
+module Shape = Olayout_codegen.Shape
+module Gen = Olayout_codegen.Gen
+module Binary = Olayout_codegen.Binary
+module Rng = Olayout_util.Rng
+module Hooks = Olayout_db.Hooks
+
+let base_addr = 0x8000_0000
+
+let s n = Shape.Straight n
+
+(* (name, target body instrs, callees, explicit prefix).  Layered: leaves
+   first; later procedures may call earlier ones only. *)
+let inventory : (string * int * string list * Shape.stmt list) list =
+  [
+    (* --- leaves --- *)
+    ("k_memcpy", 18, [], [ Shape.Loop { avg_iters = 5.0; body = [ s 5 ]; hint = Some "bytes" } ]);
+    ("k_spl", 12, [], []);
+    ("k_lock_spin", 30, [], [ Shape.Loop { avg_iters = 2.0; body = [ s 4 ]; hint = None } ]);
+    ("k_queue_insert", 20, [], []);
+    ("k_hash", 22, [], []);
+    ("k_cred_check", 35, [], []);
+    ("k_stats_bump", 15, [], []);
+    (* --- VM / faults --- *)
+    ("k_pmap_update", 60, [ "k_spl" ], []);
+    ("k_tlb_shoot", 45, [ "k_spl" ], []);
+    ("k_vm_fault", 220, [ "k_pmap_update"; "k_hash"; "k_lock_spin" ], []);
+    (* --- buffer cache / VFS / device --- *)
+    ("k_bio_done", 55, [ "k_queue_insert"; "k_spl" ], []);
+    ("k_dma_setup", 70, [ "k_spl" ], []);
+    ("k_disk_strategy", 110, [ "k_dma_setup"; "k_queue_insert"; "k_stats_bump" ], []);
+    ("k_buf_get", 90, [ "k_hash"; "k_lock_spin" ], []);
+    ("k_ufs_bmap", 80, [ "k_hash" ], []);
+    ("k_ufs_read", 160, [ "k_buf_get"; "k_ufs_bmap"; "k_disk_strategy"; "k_memcpy" ], []);
+    ("k_ufs_write", 170, [ "k_buf_get"; "k_ufs_bmap"; "k_disk_strategy"; "k_memcpy" ], []);
+    ("k_ufs_fsync", 140, [ "k_buf_get"; "k_disk_strategy"; "k_bio_done" ], []);
+    ("k_vfs_lookup", 120, [ "k_hash"; "k_cred_check" ], []);
+    ("k_fd_resolve", 45, [ "k_cred_check" ], []);
+    (* --- network / ipc (client connections) --- *)
+    ("k_mbuf_alloc", 40, [ "k_spl" ], []);
+    ("k_sock_recv", 130, [ "k_mbuf_alloc"; "k_memcpy"; "k_queue_insert" ], []);
+    ("k_sock_send", 120, [ "k_mbuf_alloc"; "k_memcpy" ], []);
+    (* --- copyin/out --- *)
+    ("k_copyout", 50, [ "k_memcpy" ], []);
+    ("k_copyin", 50, [ "k_memcpy" ], []);
+    (* --- syscall paths --- *)
+    ("k_trap_enter", 70, [ "k_spl"; "k_cred_check" ], []);
+    ("k_trap_exit", 55, [ "k_spl" ], []);
+    ("k_sys_read", 120, [ "k_fd_resolve"; "k_ufs_read"; "k_copyout"; "k_stats_bump" ], []);
+    ("k_sys_write", 120, [ "k_fd_resolve"; "k_copyin"; "k_ufs_write"; "k_stats_bump" ], []);
+    ("k_sys_fsync", 90, [ "k_fd_resolve"; "k_ufs_fsync" ], []);
+    ("k_sys_sock_read", 100, [ "k_fd_resolve"; "k_sock_recv"; "k_copyout" ], []);
+    ("k_sys_sock_write", 100, [ "k_fd_resolve"; "k_copyin"; "k_sock_send" ], []);
+    (* --- scheduler / clock --- *)
+    ("k_runq_pick", 65, [ "k_spl"; "k_queue_insert" ], []);
+    ("k_ctx_save", 60, [], []);
+    ("k_ctx_restore", 60, [], []);
+    ("k_swtch", 150, [ "k_ctx_save"; "k_runq_pick"; "k_ctx_restore"; "k_pmap_update" ], []);
+    ("k_callout_run", 70, [ "k_queue_insert" ], []);
+    ("k_hardclock", 130, [ "k_spl"; "k_callout_run"; "k_stats_bump" ], []);
+    ("k_intr_enter", 50, [ "k_spl" ], []);
+    ("k_intr_exit", 40, [ "k_spl" ], []);
+  ]
+
+let cold_count = 40
+
+let build ~seed =
+  let rng = Rng.create (seed * 2 + 1) in
+  let hot_defs =
+    List.map
+      (fun (name, size, callees, prefix) ->
+        let body_rng = Rng.split rng in
+        {
+          Binary.name;
+          mk_body =
+            (fun pid_of ->
+              prefix
+              @ Gen.random_body body_rng ~target_instrs:size
+                  ~calls:(List.map pid_of callees) ());
+        })
+      inventory
+  in
+  (* Cold kernel bulk: drivers, admin paths, rarely used filesystems. *)
+  let cold_defs =
+    List.init cold_count (fun i ->
+        let body_rng = Rng.split rng in
+        {
+          Binary.name = Printf.sprintf "k_cold_%02d" i;
+          mk_body =
+            (fun _ -> Gen.cold_body body_rng ~target_instrs:(200 + Rng.int body_rng 600));
+        })
+  in
+  (* Interleave cold procedures among hot ones, as in a real kernel image. *)
+  let rec interleave hot cold =
+    match (hot, cold) with
+    | [], rest -> rest
+    | rest, [] -> rest
+    | h :: hs, c :: cs -> h :: c :: interleave hs cs
+  in
+  Binary.build ~name:"kernel" ~base_addr (interleave hot_defs cold_defs)
+
+type episode = { proc : int; hints : (Olayout_ir.Block.id * int) list }
+
+let ep b name = { proc = Binary.pid_of b name; hints = [] }
+
+let ep_hint b name hint_name n =
+  let block, pid = Binary.hint b ~proc:name ~name:hint_name in
+  { proc = pid; hints = [ (block, n) ] }
+
+let syscall_enter b = [ ep b "k_trap_enter" ]
+let syscall_exit b = [ ep b "k_trap_exit" ]
+
+let syscall b body = syscall_enter b @ body @ syscall_exit b
+
+let on_op b (op : Hooks.op) =
+  match op with
+  | Hooks.Disk_read _ -> syscall b [ ep b "k_sys_read" ]
+  | Hooks.Disk_write _ -> syscall b [ ep b "k_sys_write" ]
+  | Hooks.Log_fsync { bytes } ->
+      (* Bigger forces copy more: scale the write path's memcpy. *)
+      let chunks = max 2 (bytes / 2048) in
+      syscall b [ ep b "k_sys_write"; ep_hint b "k_memcpy" "bytes" chunks; ep b "k_sys_fsync" ]
+  | Hooks.Txn_begin -> syscall b [ ep b "k_sys_sock_read" ]
+  | Hooks.Txn_commit _ -> syscall b [ ep b "k_sys_sock_write" ]
+  | Hooks.Txn_abort | Hooks.Buffer_hit | Hooks.Buffer_miss | Hooks.Log_append _
+  | Hooks.Btree_search _ | Hooks.Btree_insert _ | Hooks.Heap_insert | Hooks.Heap_fetch
+  | Hooks.Heap_update | Hooks.Lock_acquire _ | Hooks.Lock_release _ | Hooks.Page_touch _ ->
+      []
+
+let context_switch b = [ ep b "k_intr_enter"; ep b "k_swtch"; ep b "k_intr_exit" ]
+let clock_tick b = [ ep b "k_intr_enter"; ep b "k_hardclock"; ep b "k_intr_exit" ]

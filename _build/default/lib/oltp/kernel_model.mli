@@ -1,0 +1,31 @@
+(** The synthetic operating-system kernel binary and its invocation map.
+
+    Stands in for Tru64 Unix (DESIGN.md §2): syscall dispatch, the file
+    I/O and log-force paths the database engine exercises, the scheduler's
+    context-switch path, and the clock-interrupt path.  The kernel text is
+    mapped at its own base address, far from application text, like kernel
+    vs user text on Alpha. *)
+
+val base_addr : int
+
+val build : seed:int -> Olayout_codegen.Binary.built
+(** Deterministic kernel binary (~80 procedures). *)
+
+type episode = { proc : int; hints : (Olayout_ir.Block.id * int) list }
+(** One kernel entry: procedure to walk with loop hints. *)
+
+val on_op : Olayout_codegen.Binary.built -> Olayout_db.Hooks.op -> episode list
+(** Kernel work triggered by a database event: disk reads/writes enter the
+    read/write syscall paths, log forces the fsync path; other events cost
+    no kernel time.  (Lock waits block in user mode first; their kernel cost
+    is part of the context switch.) *)
+
+val context_switch : Olayout_codegen.Binary.built -> episode list
+(** The scheduler path run when the server switches processes. *)
+
+val clock_tick : Olayout_codegen.Binary.built -> episode list
+(** Timer-interrupt path. *)
+
+val syscall_enter : Olayout_codegen.Binary.built -> episode list
+(** Generic trap entry/exit, prepended to every syscall episode list by
+    {!on_op} already; exposed for tests. *)

@@ -1,0 +1,186 @@
+module Placement = Olayout_core.Placement
+module Run = Olayout_exec.Run
+module Walk = Olayout_exec.Walk
+module Render = Olayout_exec.Render
+module Binary = Olayout_codegen.Binary
+module Rng = Olayout_util.Rng
+module Hooks = Olayout_db.Hooks
+module Tpcb = Olayout_db.Tpcb
+module Lock = Olayout_db.Lock
+
+type render_spec = {
+  app_placement : Placement.t;
+  kernel_placement : Placement.t;
+  emit : Run.t -> unit;
+}
+
+type result = {
+  committed : int;
+  aborted : int;
+  app_instrs : int;
+  kernel_instrs : int;
+  context_switches : int;
+  lock_waits : int;
+  clock_ticks : int;
+  db : Tpcb.t;
+}
+
+let data_base = 0x4000_0000
+
+type _ Effect.t += Yield : unit Effect.t
+
+let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
+    ?(tick_instrs = 200_000) ?db_config ?(renders = []) ?(app_sinks = [])
+    ?(kernel_sinks = []) ?on_data ?on_switch () =
+  let rng = Rng.create seed in
+  let app_walk = Walk.create ~prog:(Binary.prog app) ~rng:(Rng.split rng) in
+  let kernel_walk = Walk.create ~prog:(Binary.prog kernel) ~rng:(Rng.split rng) in
+  (* Renders: one shared merger per spec so kernel entries break app runs. *)
+  let mergers =
+    List.map
+      (fun spec ->
+        let m = Render.merger ~emit:spec.emit in
+        Walk.add_sink app_walk
+          (Render.sink (Render.create ~placement:spec.app_placement ~owner:Run.App m));
+        Walk.add_sink kernel_walk
+          (Render.sink
+             (Render.create ~placement:spec.kernel_placement ~owner:Run.Kernel m));
+        m)
+      renders
+  in
+  List.iter (Walk.add_sink app_walk) app_sinks;
+  List.iter (Walk.add_sink kernel_walk) kernel_sinks;
+
+  let app_dispatcher = App_model.dispatcher app in
+  let measuring = ref false in
+  let scheduler_running = ref false in
+  let clock_ticks = ref 0 in
+  let next_tick = ref tick_instrs in
+  let walk_kernel_episodes eps =
+    List.iter
+      (fun (e : Kernel_model.episode) ->
+        Walk.call kernel_walk ~hints:e.hints e.proc)
+      eps
+  in
+  let total_instrs () = Walk.instrs_executed app_walk + Walk.instrs_executed kernel_walk in
+  let maybe_tick () =
+    if total_instrs () > !next_tick then begin
+      incr clock_ticks;
+      next_tick := total_instrs () + tick_instrs;
+      walk_kernel_episodes (Kernel_model.clock_tick kernel);
+      true
+    end
+    else false
+  in
+  let on_op op =
+    (* A log force is a synchronous I/O wait: the committing process sleeps
+       while still holding its row locks (group commit), which is exactly
+       what creates TPC-B's branch-row contention between server
+       processes.  The clock tick preempts whoever is running. *)
+    let yield_after =
+      !scheduler_running
+      &&
+      match op with
+      | Hooks.Log_fsync _ -> true
+      | Hooks.Txn_begin | Hooks.Txn_commit _ | Hooks.Txn_abort | Hooks.Buffer_hit
+      | Hooks.Buffer_miss | Hooks.Disk_read _ | Hooks.Disk_write _ | Hooks.Log_append _
+      | Hooks.Btree_search _ | Hooks.Btree_insert _ | Hooks.Heap_insert | Hooks.Heap_fetch
+      | Hooks.Heap_update | Hooks.Lock_acquire _ | Hooks.Lock_release _
+      | Hooks.Page_touch _ ->
+          false
+    in
+    let ticked = ref false in
+    if !measuring then begin
+      (match (op, on_data) with
+      | Hooks.Page_touch { page; off; len }, Some f ->
+          (* One reference per 64-byte line of the touched span. *)
+          let start = data_base + (page * Olayout_db.Page.size) + off in
+          let stop = start + max 1 len - 1 in
+          let line = 64 in
+          let first = start / line and last = stop / line in
+          for l = first to last do
+            f (l * line)
+          done
+      | _, _ -> ());
+      List.iter
+        (fun (e : App_model.episode) -> Walk.call app_walk ~hints:e.hints e.proc)
+        (App_model.dispatch app_dispatcher op);
+      walk_kernel_episodes (Kernel_model.on_op kernel op);
+      ticked := maybe_tick ()
+    end;
+    if yield_after || !ticked then Effect.perform Yield
+  in
+  let hooks = { Hooks.on_op } in
+  let db = Tpcb.setup ?config:db_config hooks in
+
+  (* --- fiber scheduler --- *)
+  let committed = ref 0 and aborted = ref 0 in
+  let lock_waits = ref 0 and switches = ref 0 in
+  let issued = ref 0 in
+  let total = warmup + txns in
+  let input_rng = Rng.split rng in
+  let fiber_body () =
+    let continue_ = ref true in
+    while !continue_ do
+      if !issued >= total then continue_ := false
+      else begin
+        incr issued;
+        let mine = !issued in
+        if mine = warmup + 1 then measuring := true;
+        let measured_txn = mine > warmup in
+        let input = Tpcb.gen_input db input_rng in
+        let wait _key =
+          if !measuring then incr lock_waits;
+          Effect.perform Yield
+        in
+        (match Tpcb.run db ~wait input with
+        | `Committed -> if measured_txn then incr committed
+        | `Aborted -> if measured_txn then incr aborted);
+        (* Server process blocks awaiting the next client request. *)
+        Effect.perform Yield
+      end
+    done
+  in
+  let runq : (int * (unit -> unit)) Queue.t = Queue.create () in
+  for pid = 0 to processes - 1 do
+    Queue.add (pid, fiber_body) runq
+  done;
+  scheduler_running := true;
+  let current = ref (-1) in
+  let open Effect.Deep in
+  while not (Queue.is_empty runq) do
+    let pid, job = Queue.pop runq in
+    if !current >= 0 && !current <> pid then begin
+      if !measuring then incr switches;
+      (* The switch itself runs kernel scheduler code. *)
+      if !measuring then walk_kernel_episodes (Kernel_model.context_switch kernel)
+    end;
+    if !current <> pid then (match on_switch with Some f -> f pid | None -> ());
+    current := pid;
+    match_with job ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Queue.add (pid, fun () -> continue k ()) runq)
+            | _ -> None);
+      }
+  done;
+  measuring := false;
+  scheduler_running := false;
+  List.iter Render.flush mergers;
+  {
+    committed = !committed;
+    aborted = !aborted;
+    app_instrs = Walk.instrs_executed app_walk;
+    kernel_instrs = Walk.instrs_executed kernel_walk;
+    context_switches = !switches;
+    lock_waits = !lock_waits;
+    clock_ticks = !clock_ticks;
+    db;
+  }

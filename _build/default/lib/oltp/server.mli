@@ -1,0 +1,64 @@
+(** The OLTP server: dedicated server processes (fibers) executing TPC-B
+    transactions against the real mini-engine, with every engine event
+    rendered into the synthetic application/kernel instruction streams.
+
+    Mirrors the paper's setup (§3.1-§3.2): multiple server processes per
+    processor (default 8), context switches through the kernel scheduler
+    path, kernel entries for I/O, log forces and IPC, and a warm-up phase
+    excluded from measurement.  Fibers are OCaml 5 effect handlers; a
+    transaction blocked on a row lock yields to the scheduler and retries —
+    so the famous TPC-B branch-row contention really interleaves the
+    processes' instruction streams.
+
+    The block-level path depends only on (binaries, seed, transaction count,
+    process count, database configuration) — never on placements — so any
+    number of render sinks can observe the same execution under different
+    layouts in a single run (DESIGN.md §2). *)
+
+module Placement = Olayout_core.Placement
+module Run = Olayout_exec.Run
+module Walk = Olayout_exec.Walk
+
+type render_spec = {
+  app_placement : Placement.t;
+  kernel_placement : Placement.t;
+  emit : Run.t -> unit;
+}
+
+type result = {
+  committed : int;
+  aborted : int;
+  app_instrs : int;  (** nominal app instructions walked (source encoding) *)
+  kernel_instrs : int;
+  context_switches : int;
+  lock_waits : int;
+  clock_ticks : int;
+  db : Olayout_db.Tpcb.t;  (** final database state, for consistency checks *)
+}
+
+val run :
+  app:Olayout_codegen.Binary.built ->
+  kernel:Olayout_codegen.Binary.built ->
+  txns:int ->
+  ?seed:int ->
+  ?processes:int ->
+  ?warmup:int ->
+  ?tick_instrs:int ->
+  ?db_config:Olayout_db.Tpcb.config ->
+  ?renders:render_spec list ->
+  ?app_sinks:Walk.sink list ->
+  ?kernel_sinks:Walk.sink list ->
+  ?on_data:(int -> unit) ->
+  ?on_switch:(int -> unit) ->
+  unit ->
+  result
+(** Execute [txns] measured transactions (after [warmup] unmeasured ones,
+    default 50).  [tick_instrs] is the clock-interrupt period in nominal
+    instructions (default 200k ~ 5 kHz at 1 GHz).  [app_sinks] /
+    [kernel_sinks] observe block events (profilers, samplers);
+    [renders] observe address runs; [on_data] observes data references;
+    [on_switch] observes every dispatch of a different server process (for
+    per-CPU routing in the multiprocessor experiment). *)
+
+val data_base : int
+(** Base virtual address of the database data region (page 0). *)

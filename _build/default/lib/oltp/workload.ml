@@ -1,0 +1,26 @@
+module Profile = Olayout_profile.Profile
+module Placement = Olayout_core.Placement
+module Binary = Olayout_codegen.Binary
+
+type t = { app : Binary.built; kernel : Binary.built }
+
+let create ?(seed = 7) () =
+  { app = App_model.build ~seed; kernel = Kernel_model.build ~seed }
+
+let app t = t.app
+let kernel t = t.kernel
+
+let train t ?(txns = 2000) ?(seed = 1) ?db_config () =
+  let app_profile = Profile.create (Binary.prog t.app) in
+  let kernel_profile = Profile.create (Binary.prog t.kernel) in
+  let _result =
+    Server.run ~app:t.app ~kernel:t.kernel ~txns ~seed ?db_config
+      ~app_sinks:[ (fun ~proc ~block ~arm -> Profile.record app_profile ~proc ~block ~arm) ]
+      ~kernel_sinks:
+        [ (fun ~proc ~block ~arm -> Profile.record kernel_profile ~proc ~block ~arm) ]
+      ()
+  in
+  (app_profile, kernel_profile)
+
+let base_app t = Placement.original (Binary.prog t.app)
+let base_kernel t = Placement.original (Binary.prog t.kernel)

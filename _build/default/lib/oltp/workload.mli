@@ -1,0 +1,28 @@
+(** Convenience facade: build the binaries once, run the Pixie-style
+    training phase, and hand out placements.
+
+    The training run uses a different seed and transaction count than any
+    measurement run, preserving the paper's train-vs-test separation
+    (profiles from a 2000-transaction run drive optimizations evaluated on
+    separate runs). *)
+
+module Profile = Olayout_profile.Profile
+module Placement = Olayout_core.Placement
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Build the application and kernel binaries (deterministic per seed). *)
+
+val app : t -> Olayout_codegen.Binary.built
+val kernel : t -> Olayout_codegen.Binary.built
+
+val train :
+  t -> ?txns:int -> ?seed:int -> ?db_config:Olayout_db.Tpcb.config -> unit ->
+  Profile.t * Profile.t
+(** Run the profiling phase (default 2000 transactions, seed 1); returns
+    (application profile, kernel profile). *)
+
+val base_app : t -> Placement.t
+val base_kernel : t -> Placement.t
+(** Source-order placements of the two binaries. *)

@@ -1,0 +1,1 @@
+lib/perf/bpred.ml: Array Bool Printf

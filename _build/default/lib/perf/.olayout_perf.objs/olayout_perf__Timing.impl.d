@@ -1,0 +1,1 @@
+lib/perf/timing.ml: Machine Olayout_cachesim Olayout_exec Olayout_memsim

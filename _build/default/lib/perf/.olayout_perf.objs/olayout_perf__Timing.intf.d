@@ -1,0 +1,1 @@
+lib/perf/timing.mli: Machine Olayout_exec

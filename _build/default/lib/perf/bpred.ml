@@ -1,0 +1,55 @@
+type policy = Static_not_taken | Static_btfn | Bimodal of int | Gshare of int
+
+let policy_name = function
+  | Static_not_taken -> "static not-taken"
+  | Static_btfn -> "static BTFN"
+  | Bimodal n -> Printf.sprintf "bimodal (%d entries)" (1 lsl n)
+  | Gshare n -> Printf.sprintf "gshare (%d entries)" (1 lsl n)
+
+type t = {
+  policy : policy;
+  counters : int array;  (* 2-bit saturating; predict taken when >= 2 *)
+  mask : int;
+  mutable history : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+}
+
+let create policy =
+  let bits = match policy with Bimodal n | Gshare n -> n | _ -> 0 in
+  if bits < 0 || bits > 24 then invalid_arg "Bpred.create: table bits out of range";
+  {
+    policy;
+    (* Initialized weakly-not-taken. *)
+    counters = Array.make (max 1 (1 lsl bits)) 1;
+    mask = (1 lsl bits) - 1;
+    history = 0;
+    branches = 0;
+    mispredicts = 0;
+  }
+
+let record t ~pc ~target ~taken =
+  t.branches <- t.branches + 1;
+  let miss =
+    match t.policy with
+    | Static_not_taken -> taken
+    | Static_btfn -> taken <> (target < pc)
+    | Bimodal _ | Gshare _ ->
+        let index =
+          match t.policy with
+          | Bimodal _ -> (pc lsr 2) land t.mask
+          | Gshare _ -> ((pc lsr 2) lxor t.history) land t.mask
+          | Static_not_taken | Static_btfn -> assert false
+        in
+        let counter = t.counters.(index) in
+        let predicted = counter >= 2 in
+        t.counters.(index) <-
+          (if taken then min 3 (counter + 1) else max 0 (counter - 1));
+        t.history <- ((t.history lsl 1) lor Bool.to_int taken) land t.mask;
+        predicted <> taken
+  in
+  if miss then t.mispredicts <- t.mispredicts + 1
+
+let branches t = t.branches
+let mispredicts t = t.mispredicts
+let rate t = if t.branches = 0 then 0.0 else float_of_int t.mispredicts /. float_of_int t.branches

@@ -1,0 +1,30 @@
+(** Branch predictors.
+
+    Chaining biases conditional branches to be not-taken (paper §2), which
+    is the other classic benefit of layout optimization beyond cache
+    behaviour (§6's framing of the related work).  These predictors measure
+    it: feed every executed conditional branch with {!record} and compare
+    mispredict rates between layouts.
+
+    - [Static_not_taken] — always predict not-taken (what chaining
+      optimizes for);
+    - [Static_btfn] — backward-taken/forward-not-taken;
+    - [Bimodal n] — per-PC 2-bit saturating counters, 2^n entries;
+    - [Gshare n] — 2-bit counters indexed by PC xor global history. *)
+
+type policy = Static_not_taken | Static_btfn | Bimodal of int | Gshare of int
+
+val policy_name : policy -> string
+
+type t
+
+val create : policy -> t
+
+val record : t -> pc:int -> target:int -> taken:bool -> unit
+(** One executed conditional branch: predict, compare, update. *)
+
+val branches : t -> int
+val mispredicts : t -> int
+
+val rate : t -> float
+(** Mispredicts per branch; 0 when no branches. *)

@@ -1,0 +1,64 @@
+module Icache = Olayout_cachesim.Icache
+
+type t = {
+  name : string;
+  l1i : Icache.config;
+  itlb_entries : int;
+  l2_size_bytes : int;
+  l2_line : int;
+  l2_assoc : int;
+  l1_miss_cycles : int;
+  l2_miss_cycles : int;
+  itlb_miss_cycles : int;
+  base_cpi : float;
+}
+
+(* base_cpi folds in data-side stalls and multi-cycle ops; it is identical
+   for baseline and optimized binaries, so it only scales the relative
+   improvements.  Values chosen so the I-side stall share of execution
+   matches the OLTP characterizations the paper builds on (instruction
+   stalls ~ 25-35% of non-idle cycles on these machines). *)
+
+let alpha_21164 =
+  {
+    name = "21164 (8KB, 1-way)";
+    l1i = Icache.config ~name:"21164-l1i" ~size_kb:8 ~line:32 ~assoc:1 ();
+    itlb_entries = 48;
+    l2_size_bytes = 2 * 1024 * 1024;
+    l2_line = 64;
+    l2_assoc = 1;
+    l1_miss_cycles = 12;
+    l2_miss_cycles = 60;
+    itlb_miss_cycles = 40;
+    base_cpi = 1.15;
+  }
+
+let alpha_21264 =
+  {
+    name = "21264 (64KB, 2-way)";
+    l1i = Icache.config ~name:"21264-l1i" ~size_kb:64 ~line:64 ~assoc:2 ();
+    itlb_entries = 128;
+    l2_size_bytes = 4 * 1024 * 1024;
+    l2_line = 64;
+    l2_assoc = 1;
+    l1_miss_cycles = 14;
+    l2_miss_cycles = 100;
+    itlb_miss_cycles = 50;
+    base_cpi = 1.15;
+  }
+
+let alpha_21364_sim =
+  {
+    name = "21364-sim (64KB, 2-way, 1GHz)";
+    l1i = Icache.config ~name:"21364-l1i" ~size_kb:64 ~line:64 ~assoc:2 ();
+    itlb_entries = 64;
+    l2_size_bytes = 1536 * 1024;
+    l2_line = 64;
+    l2_assoc = 6;
+    l1_miss_cycles = 12;
+    l2_miss_cycles = 80;
+    itlb_miss_cycles = 30;
+    base_cpi = 1.15;
+  }
+
+let all = [ alpha_21264; alpha_21164; alpha_21364_sim ]

@@ -1,0 +1,28 @@
+(** Machine models for the execution-time experiments (paper Figure 15).
+
+    The paper measures on three generations: a 21164 (8 KB direct-mapped
+    L1I, 2 MB board cache), a 21264 (64 KB 2-way L1I) and a simulated
+    21364-like 1 GHz system (64 KB 2-way L1s, 1.5 MB L2).  Each model is an
+    in-order single-issue core with the paper's memory latencies; execution
+    time is reported in non-idle cycles (§3.3). *)
+
+type t = {
+  name : string;
+  l1i : Olayout_cachesim.Icache.config;
+  itlb_entries : int;
+  l2_size_bytes : int;
+  l2_line : int;
+  l2_assoc : int;
+  l1_miss_cycles : int;  (** L1I miss, L2 hit *)
+  l2_miss_cycles : int;  (** L2 miss to memory *)
+  itlb_miss_cycles : int;
+  base_cpi : float;  (** cycles per instruction apart from I-side stalls *)
+}
+
+val alpha_21164 : t
+val alpha_21264 : t
+val alpha_21364_sim : t
+(** The three platforms of Figure 15 (the last is the paper's SimOS
+    configuration). *)
+
+val all : t list

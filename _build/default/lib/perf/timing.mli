@@ -1,0 +1,28 @@
+(** Non-idle-cycle execution time model.
+
+    cycles = instructions * base_cpi
+           + L1I misses that hit in L2    * l1_miss_cycles
+           + L1I misses that miss in L2   * l2_miss_cycles
+           + iTLB misses                  * itlb_miss_cycles
+
+    The data-side and issue stalls are folded into [base_cpi] and are the
+    same for every layout, matching the paper's use of non-idle execution
+    cycles as the metric (§3.3: elapsed time is meaningless because the
+    optimized runs become more I/O bound). *)
+
+type t
+
+val create : Machine.t -> t
+
+val fetch_run : t -> Olayout_exec.Run.t -> unit
+(** Feed an instruction-fetch run: advances instruction count and the
+    machine's L1I/iTLB/L2 state. *)
+
+val cycles : t -> float
+val instructions : t -> int
+val l1i_misses : t -> int
+val l2_misses : t -> int
+val itlb_misses : t -> int
+
+val stall_fraction : t -> float
+(** Fraction of cycles spent in modeled I-side stalls. *)

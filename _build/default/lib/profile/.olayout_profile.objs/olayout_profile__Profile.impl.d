@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Block List Olayout_ir Printf Proc Prog Stdlib String

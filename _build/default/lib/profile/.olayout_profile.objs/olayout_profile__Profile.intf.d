@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Block Olayout_ir Prog

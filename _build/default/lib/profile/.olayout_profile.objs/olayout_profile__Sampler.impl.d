@@ -1,0 +1,1 @@
+lib/profile/sampler.ml: Array Block Olayout_ir Proc Profile Prog

@@ -1,0 +1,1 @@
+lib/profile/sampler.mli: Olayout_ir Profile Prog

@@ -1,0 +1,1 @@
+lib/profile/temporal.ml: Array Hashtbl List Olayout_ir Proc Prog

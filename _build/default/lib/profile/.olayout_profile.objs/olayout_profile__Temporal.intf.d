@@ -1,0 +1,1 @@
+lib/profile/temporal.mli: Olayout_ir Prog

@@ -1,0 +1,201 @@
+open Olayout_ir
+
+type t = {
+  prog : Prog.t;
+  blocks : int array array;
+  arms : int array array array;
+}
+
+let create prog =
+  let shape f =
+    Array.map (fun (p : Proc.t) -> Array.map f p.blocks) prog.Prog.procs
+  in
+  {
+    prog;
+    blocks = shape (fun _ -> 0);
+    arms = shape (fun b -> Array.make (Block.arm_count b) 0);
+  }
+
+let prog t = t.prog
+
+let record t ~proc ~block ~arm =
+  t.blocks.(proc).(block) <- t.blocks.(proc).(block) + 1;
+  let arms = t.arms.(proc).(block) in
+  arms.(arm) <- arms.(arm) + 1
+
+let record_block t ~proc ~block ~count =
+  t.blocks.(proc).(block) <- t.blocks.(proc).(block) + count
+
+let block_count t ~proc ~block = t.blocks.(proc).(block)
+let arm_count t ~proc ~block ~arm = t.arms.(proc).(block).(arm)
+
+let proc_entry_count t p =
+  let entry = (Prog.proc t.prog p).Proc.entry in
+  t.blocks.(p).(entry)
+
+let dynamic_instrs t =
+  let total = ref 0 in
+  Prog.iter_blocks t.prog (fun p b ->
+      let c = t.blocks.(p.Proc.id).(b.Block.id) in
+      total := !total + (c * Block.source_instrs b));
+  !total
+
+type flow_edge = { src : Block.id; arm : int; dst : Block.id; weight : float }
+
+let proc_flow_edges t pid =
+  let p = Prog.proc t.prog pid in
+  let edges = ref [] in
+  Array.iter
+    (fun (b : Block.t) ->
+      let n = Block.arm_count b in
+      for arm = 0 to n - 1 do
+        match Block.arm_target b arm with
+        | None -> ()
+        | Some dst ->
+            let weight = float_of_int t.arms.(pid).(b.id).(arm) in
+            edges := { src = b.id; arm; dst; weight } :: !edges
+      done)
+    p.blocks;
+  List.rev !edges
+
+let call_site_counts t =
+  let acc = ref [] in
+  Prog.iter_blocks t.prog (fun p b ->
+      match b.Block.term with
+      | Block.Call { callee; _ } ->
+          let c = t.blocks.(p.Proc.id).(b.Block.id) in
+          if c > 0 then acc := (p.Proc.id, callee, c) :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let estimate_arms t =
+  let t' = create t.prog in
+  Array.iteri
+    (fun pid row -> Array.iteri (fun bid c -> t'.blocks.(pid).(bid) <- c) row)
+    t.blocks;
+  Prog.iter_blocks t.prog (fun p b ->
+      let pid = p.Proc.id and bid = b.Block.id in
+      let c = t.blocks.(pid).(bid) in
+      let n = Block.arm_count b in
+      if n = 1 then t'.arms.(pid).(bid).(0) <- c
+      else begin
+        (* Apportion in proportion to successor block counts; fall back to a
+           uniform split when all successors are cold. *)
+        let succ_counts =
+          Array.init n (fun arm ->
+              match Block.arm_target b arm with
+              | Some d -> t.blocks.(pid).(d)
+              | None -> 0)
+        in
+        let total = Array.fold_left ( + ) 0 succ_counts in
+        if total = 0 then
+          Array.iteri (fun arm _ -> t'.arms.(pid).(bid).(arm) <- c / n) succ_counts
+        else begin
+          let assigned = ref 0 in
+          for arm = 0 to n - 1 do
+            let share = c * succ_counts.(arm) / total in
+            t'.arms.(pid).(bid).(arm) <- share;
+            assigned := !assigned + share
+          done;
+          (* Give rounding leftovers to the heaviest arm. *)
+          let best = ref 0 in
+          for arm = 1 to n - 1 do
+            if succ_counts.(arm) > succ_counts.(!best) then best := arm
+          done;
+          t'.arms.(pid).(bid).(!best) <-
+            t'.arms.(pid).(bid).(!best) + (c - !assigned)
+        end
+      end);
+  t'
+
+let map2_profile f a b =
+  let t = create a.prog in
+  Array.iteri
+    (fun pid row ->
+      Array.iteri
+        (fun bid _ ->
+          t.blocks.(pid).(bid) <- f a.blocks.(pid).(bid) b.blocks.(pid).(bid);
+          Array.iteri
+            (fun arm _ ->
+              t.arms.(pid).(bid).(arm) <-
+                f a.arms.(pid).(bid).(arm) b.arms.(pid).(bid).(arm))
+            t.arms.(pid).(bid))
+        row)
+    t.blocks;
+  t
+
+let scale a factor =
+  let f x _ = int_of_float (float_of_int x *. factor) in
+  map2_profile f a a
+
+let merge a b =
+  if a.prog != b.prog && a.prog.Prog.name <> b.prog.Prog.name then
+    invalid_arg "Profile.merge: different programs";
+  map2_profile ( + ) a b
+
+let total_block_events t =
+  Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 t.blocks
+
+(* --- persistence --- *)
+
+let magic = "olayout-profile v1"
+
+let output oc t =
+  Printf.fprintf oc "%s\n" magic;
+  Printf.fprintf oc "program %s %d\n" t.prog.Prog.name (Prog.n_procs t.prog);
+  Array.iteri
+    (fun pid row ->
+      Printf.fprintf oc "proc %d %d\n" pid (Array.length row);
+      Array.iteri
+        (fun bid count ->
+          Printf.fprintf oc "%d" count;
+          Array.iter (fun a -> Printf.fprintf oc " %d" a) t.arms.(pid).(bid);
+          Printf.fprintf oc "\n")
+        row)
+    t.blocks
+
+let input prog ic =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let line () = try Stdlib.input_line ic with End_of_file -> fail "Profile.input: truncated" in
+  if line () <> magic then fail "Profile.input: bad magic";
+  (match String.split_on_char ' ' (line ()) with
+  | [ "program"; name; n ] ->
+      if name <> prog.Prog.name then
+        fail "Profile.input: profile is for program %s, not %s" name prog.Prog.name;
+      if int_of_string n <> Prog.n_procs prog then fail "Profile.input: procedure count mismatch"
+  | _ -> fail "Profile.input: bad program header");
+  let t = create prog in
+  for pid = 0 to Prog.n_procs prog - 1 do
+    (match String.split_on_char ' ' (line ()) with
+    | [ "proc"; p; n ] ->
+        if int_of_string p <> pid then fail "Profile.input: procedure order";
+        if int_of_string n <> Array.length t.blocks.(pid) then
+          fail "Profile.input: block count mismatch in proc %d" pid
+    | _ -> fail "Profile.input: bad proc header");
+    for bid = 0 to Array.length t.blocks.(pid) - 1 do
+      match List.map int_of_string (String.split_on_char ' ' (line ())) with
+      | count :: arms when List.length arms = Array.length t.arms.(pid).(bid) ->
+          t.blocks.(pid).(bid) <- count;
+          List.iteri (fun arm a -> t.arms.(pid).(bid).(arm) <- a) arms
+      | _ -> fail "Profile.input: bad block line (proc %d block %d)" pid bid
+    done
+  done;
+  t
+
+let save_file path t =
+  let oc = open_out path in
+  match output oc t with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e
+
+let load_file prog path =
+  let ic = open_in path in
+  match input prog ic with
+  | t ->
+      close_in ic;
+      t
+  | exception e ->
+      close_in_noerr ic;
+      raise e

@@ -1,0 +1,49 @@
+open Olayout_ir
+
+type t = {
+  prog : Prog.t;
+  period : int;
+  samples : int array array;
+  mutable position : int;  (** instructions executed so far *)
+  mutable next_sample : int;
+  mutable taken : int;
+}
+
+let create prog ~period =
+  if period < 1 then invalid_arg "Sampler.create: period must be >= 1";
+  {
+    prog;
+    period;
+    samples = Array.map (fun (p : Proc.t) -> Array.make (Proc.n_blocks p) 0) prog.Prog.procs;
+    position = 0;
+    next_sample = period;
+    taken = 0;
+  }
+
+let sink t ~proc ~block ~arm:_ =
+  let len = Block.source_instrs (Proc.block (Prog.proc t.prog proc) block) in
+  let len = max len 1 in
+  let fin = t.position + len in
+  while t.next_sample <= fin do
+    t.samples.(proc).(block) <- t.samples.(proc).(block) + 1;
+    t.taken <- t.taken + 1;
+    t.next_sample <- t.next_sample + t.period
+  done;
+  t.position <- fin
+
+let samples_taken t = t.taken
+
+let to_profile t =
+  let profile = Profile.create t.prog in
+  Array.iteri
+    (fun pid row ->
+      Array.iteri
+        (fun bid n ->
+          if n > 0 then begin
+            let len = max 1 (Block.source_instrs (Proc.block (Prog.proc t.prog pid) bid)) in
+            let count = max 1 (n * t.period / len) in
+            Profile.record_block profile ~proc:pid ~block:bid ~count
+          end)
+        row)
+    t.samples;
+  Profile.estimate_arms profile

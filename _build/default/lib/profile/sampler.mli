@@ -1,0 +1,24 @@
+(** PC-sampling profiler (the paper's DCPI / kprofile stand-in).
+
+    Instead of counting every block execution, the sampler observes the
+    instruction stream and records which block the PC is in every [period]
+    instructions.  [to_profile] converts sample counts back to estimated
+    block counts and reconstructs arm counts with {!Profile.estimate_arms}.
+    The kernel profile in the paper was collected this way; we also use it
+    for the profile-quality ablation. *)
+
+open Olayout_ir
+
+type t
+
+val create : Prog.t -> period:int -> t
+(** Sample every [period] executed instructions ([period >= 1]). *)
+
+val sink : t -> proc:int -> block:int -> arm:int -> unit
+(** Executor sink; feed it the same event stream as {!Profile.record}. *)
+
+val samples_taken : t -> int
+
+val to_profile : t -> Profile.t
+(** Estimated full profile: block counts scaled by [period / block size],
+    arm counts estimated from block counts. *)

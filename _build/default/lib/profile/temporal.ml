@@ -1,0 +1,58 @@
+open Olayout_ir
+
+type t = {
+  entry_of : int array;  (* proc -> entry block id *)
+  window : int array;    (* ring buffer of recent distinct procs; -1 empty *)
+  mutable head : int;
+  counts : (int * int, float ref) Hashtbl.t;
+  mutable activations : int;
+  mutable last : int;  (* most recent activation, to cheaply skip repeats *)
+}
+
+let create prog ?(window = 8) () =
+  if window < 1 then invalid_arg "Temporal.create: window must be positive";
+  {
+    entry_of = Array.map (fun (p : Proc.t) -> p.entry) prog.Prog.procs;
+    window = Array.make window (-1);
+    head = 0;
+    counts = Hashtbl.create 1024;
+    activations = 0;
+    last = -1;
+  }
+
+let bump t a b =
+  if a <> b then begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.counts key with
+    | Some r -> r := !r +. 1.0
+    | None -> Hashtbl.add t.counts key (ref 1.0)
+  end
+
+let sink t ~proc ~block ~arm:_ =
+  if block = t.entry_of.(proc) && proc <> t.last then begin
+    t.activations <- t.activations + 1;
+    t.last <- proc;
+    let n = Array.length t.window in
+    (* Relate the newcomer to every distinct procedure in the window. *)
+    let already = ref false in
+    for i = 0 to n - 1 do
+      let other = t.window.(i) in
+      if other = proc then already := true
+      else if other >= 0 then bump t proc other
+    done;
+    (* Keep window entries distinct so a hot pair is not overcounted. *)
+    if not !already then begin
+      t.window.(t.head) <- proc;
+      t.head <- (t.head + 1) mod n
+    end
+  end
+
+let activations t = t.activations
+
+let weight t a b =
+  let key = if a < b then (a, b) else (b, a) in
+  match Hashtbl.find_opt t.counts key with Some r -> !r | None -> 0.0
+
+let pairs t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts []
+  |> List.sort (fun ((a1, b1), _) ((a2, b2), _) -> compare (a1, b1) (a2, b2))

@@ -1,0 +1,29 @@
+(** Temporal relationship graphs (Gloy, Blackwell, Smith & Calder,
+    MICRO'97 — cited in the paper's §6).
+
+    Where Pettis-Hansen weighs procedure pairs by call counts, Gloy et al.
+    weigh them by *temporal interleaving*: two procedures that alternate in
+    a short window of time will fight over the same cache sets if mapped to
+    overlapping colors, even if they never call each other.  The recorder
+    keeps a sliding window of the most recently activated procedures and
+    accumulates co-occurrence counts for each pair. *)
+
+open Olayout_ir
+
+type t
+
+val create : Prog.t -> ?window:int -> unit -> t
+(** [window] is the number of distinct recently-active procedures
+    considered temporally related (default 8). *)
+
+val sink : t -> proc:int -> block:int -> arm:int -> unit
+(** Executor sink: procedure activations are detected as executions of a
+    procedure's entry block. *)
+
+val activations : t -> int
+
+val weight : t -> int -> int -> float
+(** Co-occurrence weight of a procedure pair (symmetric). *)
+
+val pairs : t -> ((int * int) * float) list
+(** All non-zero pairs, [(min, max)] keyed. *)

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function. *)
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+
+let split t = { state = next_raw t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Modulo bias is negligible for the bounds used here (all << 2^62). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_raw t) 1) (Int64.of_int bound))
+
+let float t =
+  (* 53 high bits to a double in [0,1). *)
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool t p = float t < p
+
+let geometric t p =
+  let p = if p < 1e-9 then 1e-9 else if p > 1.0 then 1.0 else p in
+  if p >= 1.0 then 0
+  else
+    let u = float t in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1.0 -. p)))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_weighted t arr =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 arr in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: non-positive total weight";
+  let x = float t *. total in
+  let n = Array.length arr in
+  let rec go i acc =
+    if i = n - 1 then fst arr.(i)
+    else
+      let acc = acc +. snd arr.(i) in
+      if x < acc then fst arr.(i) else go (i + 1) acc
+  in
+  go 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

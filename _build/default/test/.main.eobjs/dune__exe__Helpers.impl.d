@@ -1,0 +1,1 @@
+test/helpers.ml: Array Block List Olayout_codegen Olayout_exec Olayout_ir Olayout_profile Olayout_util Printf Proc Prog

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array List Olayout_cachesim Olayout_exec Olayout_metrics Printf QCheck QCheck_alcotest String

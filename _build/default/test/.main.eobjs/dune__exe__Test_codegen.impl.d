@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Block Helpers List Olayout_codegen Olayout_ir Olayout_util

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Bytes Char Fmt Int64 List Map Olayout_db Olayout_util Option Printf QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Block Format Helpers List Olayout_codegen Olayout_core Olayout_exec Olayout_ir Olayout_metrics Olayout_util Proc Prog String

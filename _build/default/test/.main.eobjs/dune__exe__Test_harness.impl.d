@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Format Lazy List Olayout_core Olayout_harness Printf String

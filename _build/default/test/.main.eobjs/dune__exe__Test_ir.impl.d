@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Helpers List Olayout_codegen Olayout_ir Printf Proc Prog QCheck QCheck_alcotest String Validate

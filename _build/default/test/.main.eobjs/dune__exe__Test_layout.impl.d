@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Block Hashtbl Helpers List Olayout_codegen Olayout_core Olayout_ir Olayout_profile Option Proc Prog QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Hashtbl List Olayout_cachesim Olayout_exec Olayout_memsim

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Gen List Olayout_metrics Printf QCheck QCheck_alcotest

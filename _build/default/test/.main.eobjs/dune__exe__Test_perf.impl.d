@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest List Olayout_exec Olayout_perf

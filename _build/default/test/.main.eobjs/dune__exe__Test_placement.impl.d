@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Block Helpers List Olayout_codegen Olayout_core Olayout_ir

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Block Filename Fun Helpers List Olayout_codegen Olayout_exec Olayout_ir Olayout_profile Olayout_util Printf Proc Prog QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Block Helpers Int64 List Olayout_cachesim Olayout_codegen Olayout_core Olayout_db Olayout_exec Olayout_ir Olayout_profile Olayout_util Proc Prog QCheck QCheck_alcotest

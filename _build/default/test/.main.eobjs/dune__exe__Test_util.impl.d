@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Hashtbl Olayout_util Option QCheck QCheck_alcotest

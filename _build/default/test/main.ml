@@ -1,0 +1,21 @@
+(* Test entry point: all suites, one per library. *)
+
+let () =
+  Alcotest.run "olayout"
+    [
+      Test_util.suite;
+      Test_metrics.suite;
+      Test_ir.suite;
+      Test_placement.suite;
+      Test_layout.suite;
+      Test_profile.suite;
+      Test_exec.suite;
+      Test_cachesim.suite;
+      Test_memsim.suite;
+      Test_db.suite;
+      Test_codegen.suite;
+      Test_oltp.suite;
+      Test_perf.suite;
+      Test_harness.suite;
+      Test_properties.suite;
+    ]

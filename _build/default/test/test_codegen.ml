@@ -1,0 +1,221 @@
+(* Tests for Olayout_codegen: shape lowering, random body generation and
+   binary assembly. *)
+
+open Olayout_ir
+module Shape = Olayout_codegen.Shape
+module Gen = Olayout_codegen.Gen
+module Binary = Olayout_codegen.Binary
+module Rng = Olayout_util.Rng
+
+let lower_to_prog stmts =
+  let lowered = Shape.lower stmts in
+  Helpers.prog_of_blocks "shape" (Array.to_list lowered.Shape.blocks)
+
+let test_lower_straight () =
+  let lowered = Shape.lower [ Shape.Straight 10 ] in
+  Alcotest.(check int) "one block" 1 (Array.length lowered.Shape.blocks);
+  (* 10 body instructions plus the 2-instruction function epilogue. *)
+  Alcotest.(check int) "body" 12 lowered.Shape.blocks.(0).Block.body;
+  Alcotest.(check bool) "ends with ret" true (lowered.Shape.blocks.(0).Block.term = Block.Ret)
+
+let test_lower_if_cold_structure () =
+  let lowered = Shape.lower [ Shape.Straight 5; Shape.If_cold { p_error = 0.01; error = [ Shape.Straight 8 ] }; Shape.Straight 3 ] in
+  let blocks = lowered.Shape.blocks in
+  (* b0: 5-instr chunk, cond jumping over the error block to the continuation. *)
+  (match blocks.(0).Block.term with
+  | Block.Cond { taken; fall; p_taken } ->
+      Alcotest.(check int) "fall is error entry" 1 fall;
+      Alcotest.(check int) "taken skips error" 2 taken;
+      Alcotest.(check (float 1e-9)) "probability" 0.99 p_taken
+  | _ -> Alcotest.fail "expected cond");
+  Alcotest.(check int) "error body" 8 blocks.(1).Block.body;
+  (* error rejoins the continuation via fall-through *)
+  Alcotest.(check bool) "error falls to cont" true (blocks.(1).Block.term = Block.Fall 2)
+
+let test_lower_if_else_structure () =
+  let lowered =
+    Shape.lower
+      [ Shape.If_else { p_then = 0.7; then_ = [ Shape.Straight 4 ]; else_ = [ Shape.Straight 6 ] } ]
+  in
+  let blocks = lowered.Shape.blocks in
+  (match blocks.(0).Block.term with
+  | Block.Cond { taken; fall; p_taken } ->
+      Alcotest.(check int) "then on fall path" 1 fall;
+      Alcotest.(check int) "taken to else" 2 taken;
+      Alcotest.(check (float 1e-9)) "p(else)" 0.3 p_taken
+  | _ -> Alcotest.fail "expected cond");
+  (* then-arm jumps over else-arm to the continuation *)
+  Alcotest.(check bool) "then jumps to cont" true (blocks.(1).Block.term = Block.Jump 3);
+  Alcotest.(check bool) "else falls to cont" true (blocks.(2).Block.term = Block.Fall 3)
+
+let test_lower_loop_structure () =
+  let lowered =
+    Shape.lower [ Shape.Loop { avg_iters = 4.0; body = [ Shape.Straight 5 ]; hint = Some "h" } ]
+  in
+  let blocks = lowered.Shape.blocks in
+  Alcotest.(check (list (pair string int))) "hint on header" [ ("h", 1) ]
+    lowered.Shape.hint_points;
+  (match blocks.(1).Block.term with
+  | Block.Cond { taken; fall; p_taken } ->
+      Alcotest.(check int) "exit is taken" 3 taken;
+      Alcotest.(check int) "body is fall" 2 fall;
+      Alcotest.(check (float 1e-9)) "exit probability" 0.2 p_taken
+  | _ -> Alcotest.fail "expected loop header cond");
+  Alcotest.(check bool) "hot backedge is a jump" true (blocks.(2).Block.term = Block.Jump 1)
+
+let test_lower_switch_structure () =
+  let lowered =
+    Shape.lower
+      [ Shape.Switch { arms = [ (3.0, [ Shape.Straight 2 ]); (1.0, [ Shape.Straight 4 ]) ] } ]
+  in
+  let blocks = lowered.Shape.blocks in
+  match blocks.(0).Block.term with
+  | Block.Ijump targets ->
+      Alcotest.(check int) "two targets" 2 (Array.length targets);
+      let t0, w0 = targets.(0) in
+      Alcotest.(check int) "arm0 entry" 1 t0;
+      Alcotest.(check (float 1e-9)) "arm0 weight" 3.0 w0;
+      (* both arms jump to the continuation *)
+      Array.iter
+        (fun (entry, _) ->
+          match blocks.(entry).Block.term with
+          | Block.Jump d ->
+              Alcotest.(check bool) "rejoin" true (d = Array.length blocks - 1)
+          | _ -> Alcotest.fail "arm should jump")
+        targets
+  | _ -> Alcotest.fail "expected ijump"
+
+let test_lower_return_midway () =
+  let lowered = Shape.lower [ Shape.Straight 2; Shape.Return; Shape.Straight 9 ] in
+  let blocks = lowered.Shape.blocks in
+  Alcotest.(check bool) "early ret" true (blocks.(0).Block.term = Block.Ret);
+  (* trailing unreachable code still lowers to valid blocks *)
+  Alcotest.(check bool) "validates" true
+    (Olayout_ir.Validate.check (lower_to_prog [ Shape.Straight 2; Shape.Return; Shape.Straight 9 ]) = Ok ())
+
+let test_lower_validates_everything () =
+  List.iter
+    (fun stmts ->
+      match Olayout_ir.Validate.check (lower_to_prog stmts) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "lowered program invalid")
+    [
+      [];
+      [ Shape.Straight 0 ];
+      [ Shape.Loop { avg_iters = 2.0; body = [ Shape.If_cold { p_error = 0.1; error = [ Shape.Return ] } ]; hint = None } ];
+      [ Shape.Switch { arms = [ (1.0, [ Shape.Loop { avg_iters = 3.0; body = [ Shape.Straight 2 ]; hint = None } ]) ] } ];
+      [ Shape.If_else { p_then = 0.5; then_ = [ Shape.If_else { p_then = 0.5; then_ = [ Shape.Straight 1 ]; else_ = [ Shape.Straight 1 ] } ]; else_ = [ Shape.Straight 1 ] } ];
+    ]
+
+let test_lower_rejections () =
+  List.iter
+    (fun (name, stmts) ->
+      Alcotest.(check bool) name true
+        (try
+           ignore (Shape.lower stmts);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("bad p_error", [ Shape.If_cold { p_error = 0.0; error = [] } ]);
+      ("short loop", [ Shape.Loop { avg_iters = 1.0; body = []; hint = None } ]);
+      ("empty switch", [ Shape.Switch { arms = [] } ]);
+      ("negative straight", [ Shape.Straight (-1) ]);
+    ]
+
+let test_body_instrs_estimate () =
+  let stmts =
+    [ Shape.Straight 10; Shape.If_cold { p_error = 0.1; error = [ Shape.Straight 5 ] } ]
+  in
+  Alcotest.(check int) "estimate" 15 (Shape.body_instrs stmts)
+
+let test_gen_reasonable_size () =
+  let rng = Rng.create 42 in
+  let stmts = Gen.random_body rng ~target_instrs:200 ~calls:[] () in
+  let n = Shape.body_instrs stmts in
+  Alcotest.(check bool) "within 2x of target" true (n > 100 && n < 500)
+
+let test_gen_includes_calls () =
+  let rng = Rng.create 43 in
+  let stmts = Gen.random_body rng ~target_instrs:100 ~calls:[ 3; 1; 4; 1 ] () in
+  let rec calls acc = function
+    | [] -> acc
+    | Shape.Call p :: rest -> calls (p :: acc) rest
+    | (Shape.If_cold { error = s; _ } | Shape.Loop { body = s; _ }) :: rest ->
+        calls (calls acc s) rest
+    | Shape.If_else { then_; else_; _ } :: rest -> calls (calls (calls acc then_) else_) rest
+    | Shape.Switch { arms } :: rest ->
+        calls (List.fold_left (fun a (_, s) -> calls a s) acc arms) rest
+    | (Shape.Straight _ | Shape.Return) :: rest -> calls acc rest
+  in
+  (* Top-level call order preserved. *)
+  Alcotest.(check (list int)) "calls present in order" [ 3; 1; 4; 1 ]
+    (List.rev (calls [] stmts))
+
+let test_binary_build () =
+  let defs =
+    [
+      { Binary.name = "leaf"; mk_body = (fun _ -> [ Shape.Straight 5 ]) };
+      {
+        Binary.name = "root";
+        mk_body = (fun pid_of -> [ Shape.Call (pid_of "leaf"); Shape.Straight 2 ]);
+      };
+    ]
+  in
+  let built = Binary.build ~name:"tiny" ~base_addr:0 defs in
+  Alcotest.(check int) "leaf pid" 0 (Binary.pid_of built "leaf");
+  Alcotest.(check int) "root pid" 1 (Binary.pid_of built "root");
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Binary.pid_of built "missing");
+       false
+     with Not_found -> true)
+
+let test_binary_duplicate_names () =
+  let defs =
+    [
+      { Binary.name = "x"; mk_body = (fun _ -> [ Shape.Straight 1 ]) };
+      { Binary.name = "x"; mk_body = (fun _ -> [ Shape.Straight 1 ]) };
+    ]
+  in
+  Alcotest.(check bool) "dup rejected" true
+    (try
+       ignore (Binary.build ~name:"dup" ~base_addr:0 defs);
+       false
+     with Invalid_argument _ -> true)
+
+let test_binary_hints () =
+  let defs =
+    [
+      {
+        Binary.name = "loopy";
+        mk_body =
+          (fun _ -> [ Shape.Loop { avg_iters = 3.0; body = [ Shape.Straight 2 ]; hint = Some "it" } ]);
+      };
+    ]
+  in
+  let built = Binary.build ~name:"h" ~base_addr:0 defs in
+  let block, pid = Binary.hint built ~proc:"loopy" ~name:"it" in
+  Alcotest.(check int) "pid" 0 pid;
+  Alcotest.(check bool) "block exists" true (block >= 0);
+  Alcotest.(check (list (pair string int))) "hints_for" [ ("it", block) ]
+    (Binary.hints_for built "loopy");
+  Alcotest.(check (list (pair string int))) "hints_for absent" [] (Binary.hints_for built "x")
+
+let suite =
+  ( "codegen",
+    [
+      Alcotest.test_case "lower straight" `Quick test_lower_straight;
+      Alcotest.test_case "lower if_cold" `Quick test_lower_if_cold_structure;
+      Alcotest.test_case "lower if_else" `Quick test_lower_if_else_structure;
+      Alcotest.test_case "lower loop" `Quick test_lower_loop_structure;
+      Alcotest.test_case "lower switch" `Quick test_lower_switch_structure;
+      Alcotest.test_case "lower return midway" `Quick test_lower_return_midway;
+      Alcotest.test_case "lower validates" `Quick test_lower_validates_everything;
+      Alcotest.test_case "lower rejections" `Quick test_lower_rejections;
+      Alcotest.test_case "body instrs" `Quick test_body_instrs_estimate;
+      Alcotest.test_case "gen size" `Quick test_gen_reasonable_size;
+      Alcotest.test_case "gen calls" `Quick test_gen_includes_calls;
+      Alcotest.test_case "binary build" `Quick test_binary_build;
+      Alcotest.test_case "binary duplicates" `Quick test_binary_duplicate_names;
+      Alcotest.test_case "binary hints" `Quick test_binary_hints;
+    ] )

@@ -1,0 +1,248 @@
+(* Tests for Olayout_exec: the walker, loop hints, run rendering/merging and
+   sequence statistics. *)
+
+open Olayout_ir
+module Walk = Olayout_exec.Walk
+module Render = Olayout_exec.Render
+module Run = Olayout_exec.Run
+module Seqstat = Olayout_exec.Seqstat
+module Placement = Olayout_core.Placement
+module Rng = Olayout_util.Rng
+
+let events_of_walk ?(hints = []) ?(seed = 3) prog pid =
+  let events = ref [] in
+  let walk = Walk.create ~prog ~rng:(Rng.create seed) in
+  Walk.add_sink walk (fun ~proc ~block ~arm -> events := (proc, block, arm) :: !events);
+  Walk.call walk ~hints pid;
+  List.rev !events
+
+let test_straight_walk () =
+  let prog = Helpers.straight_prog 3 in
+  Alcotest.(check (list (triple int int int))) "events"
+    [ (0, 0, 0); (0, 1, 0); (0, 2, 0) ]
+    (events_of_walk prog 0)
+
+let test_call_walk () =
+  let prog = Helpers.call_prog () in
+  Alcotest.(check (list (triple int int int))) "events"
+    [ (0, 0, 0); (1, 0, 0); (0, 1, 0); (1, 0, 0); (0, 2, 0) ]
+    (events_of_walk prog 0)
+
+let test_walk_determinism () =
+  let built = Helpers.random_program 33 in
+  let prog = Olayout_codegen.Binary.prog built in
+  let e1 = events_of_walk ~seed:9 prog 2 and e2 = events_of_walk ~seed:9 prog 2 in
+  Alcotest.(check bool) "identical" true (e1 = e2)
+
+let test_walk_probability () =
+  (* Diamond p_taken=0.8: taken arm chosen ~80% of the time. *)
+  let prog = Helpers.diamond_prog 0.8 in
+  let walk = Walk.create ~prog ~rng:(Rng.create 17) in
+  let takens = ref 0 and total = 5000 in
+  Walk.add_sink walk (fun ~proc:_ ~block ~arm ->
+      if block = 0 && arm = 0 then incr takens);
+  for _ = 1 to total do
+    Walk.call walk 0
+  done;
+  let freq = float_of_int !takens /. float_of_int total in
+  Alcotest.(check bool) "p respected" true (abs_float (freq -. 0.8) < 0.03)
+
+let test_loop_hint_exact () =
+  let prog = Helpers.loop_prog 0.25 in
+  (* Hint 5 on the header (block 1): the hot arm (fall = body, p=0.75) runs
+     exactly 5 times, then the exit arm. *)
+  let events = events_of_walk ~hints:[ (1, 5) ] prog 0 in
+  let body_visits = List.length (List.filter (fun (_, blk, _) -> blk = 2) events) in
+  Alcotest.(check int) "body runs 5x" 5 body_visits
+
+let test_loop_hint_zero () =
+  let prog = Helpers.loop_prog 0.25 in
+  let events = events_of_walk ~hints:[ (1, 0) ] prog 0 in
+  let body_visits = List.length (List.filter (fun (_, blk, _) -> blk = 2) events) in
+  Alcotest.(check int) "body never runs" 0 body_visits
+
+let test_instr_counter () =
+  let prog = Helpers.straight_prog 3 in
+  let walk = Walk.create ~prog ~rng:(Rng.create 1) in
+  Walk.call walk 0;
+  (* 4 + 4 + (4+1 ret) *)
+  Alcotest.(check int) "instrs" 13 (Walk.instrs_executed walk);
+  Alcotest.(check int) "blocks" 3 (Walk.blocks_executed walk)
+
+let render_runs ?(segments = None) prog pid =
+  let placement =
+    match segments with
+    | None -> Placement.original ~align:16 prog
+    | Some segs -> Placement.of_segments ~align:4 prog segs
+  in
+  let runs = ref [] in
+  let m = Render.merger ~emit:(fun r -> runs := r :: !runs) in
+  let r = Render.create ~placement ~owner:Run.App m in
+  let walk = Walk.create ~prog ~rng:(Rng.create 3) in
+  Walk.add_sink walk (Render.sink r);
+  Walk.call walk pid;
+  Render.flush m;
+  List.rev !runs
+
+let test_straight_single_run () =
+  let prog = Helpers.straight_prog 4 in
+  match render_runs prog 0 with
+  | [ run ] ->
+      Alcotest.(check int) "addr" 0x1000 run.Run.addr;
+      (* 4+4+4+5: falls merge, ret included *)
+      Alcotest.(check int) "merged length" 17 run.Run.len
+  | runs -> Alcotest.failf "expected one run, got %d" (List.length runs)
+
+let test_call_breaks_runs () =
+  let prog = Helpers.call_prog () in
+  let runs = render_runs prog 0 in
+  (* call block / callee / ret-block / callee / final: 5 runs *)
+  Alcotest.(check int) "five runs" 5 (List.length runs);
+  (* Each run's length matches fetched instructions: 3,6,4,6,2 *)
+  Alcotest.(check (list int)) "run lengths" [ 3; 6; 4; 6; 2 ]
+    (List.map (fun r -> r.Run.len) runs)
+
+let test_merger_owner_switch () =
+  let runs = ref [] in
+  let m = Render.merger ~emit:(fun r -> runs := r :: !runs) in
+  Render.feed m Run.App ~addr:0 ~len:4;
+  Render.feed m Run.App ~addr:16 ~len:2;  (* contiguous: merges *)
+  Render.feed m Run.Kernel ~addr:24 ~len:1;  (* owner switch: flush *)
+  Render.flush m;
+  match List.rev !runs with
+  | [ a; k ] ->
+      Alcotest.(check int) "merged app run" 6 a.Run.len;
+      Alcotest.(check bool) "kernel run" true (k.Run.owner = Run.Kernel)
+  | l -> Alcotest.failf "expected 2 runs, got %d" (List.length l)
+
+let test_merger_gap_breaks () =
+  let runs = ref [] in
+  let m = Render.merger ~emit:(fun r -> runs := r :: !runs) in
+  Render.feed m Run.App ~addr:0 ~len:4;
+  Render.feed m Run.App ~addr:32 ~len:2;  (* gap *)
+  Render.flush m;
+  Alcotest.(check int) "two runs" 2 (List.length !runs)
+
+let test_block_path_placement_invariant () =
+  (* The block path must not depend on the placement: render the same walk
+     under two placements and compare per-placement run totals against the
+     respective placements' expected fetch counts. *)
+  let prog = Helpers.diamond_prog 0.5 in
+  let events = events_of_walk ~seed:42 prog 0 in
+  let total_for segments =
+    let placement =
+      match segments with
+      | None -> Placement.original prog
+      | Some segs -> Placement.of_segments ~align:4 prog segs
+    in
+    List.fold_left
+      (fun acc (proc, block, arm) -> acc + Placement.exec_instrs placement ~proc ~block ~arm)
+      0 events
+  in
+  let reordered = Some [ { Olayout_core.Segment.proc = 0; blocks = [ 0; 2; 3; 1 ] } ] in
+  (* Same events; totals may differ only via terminator encoding. *)
+  let a = total_for None and b = total_for reordered in
+  Alcotest.(check bool) "totals close" true (abs (a - b) <= List.length events)
+
+let test_seqstat () =
+  let s = Seqstat.create () in
+  Seqstat.observe s { Run.owner = Run.App; addr = 0; len = 10 };
+  Seqstat.observe s { Run.owner = Run.App; addr = 0; len = 20 };
+  Seqstat.observe s { Run.owner = Run.Kernel; addr = 0; len = 7 };
+  Alcotest.(check (float 1e-9)) "app mean" 15.0 (Seqstat.mean s ~owner:Run.App);
+  Alcotest.(check int) "app instrs" 30 (Seqstat.total_instrs s ~owner:Run.App);
+  Alcotest.(check int) "app runs" 2 (Seqstat.total_runs s ~owner:Run.App);
+  Alcotest.(check (float 1e-9)) "kernel mean" 7.0 (Seqstat.mean s ~owner:Run.Kernel)
+
+let test_seqstat_cap () =
+  let s = Seqstat.create ~cap:33 () in
+  Seqstat.observe s { Run.owner = Run.App; addr = 0; len = 100 };
+  let h = Seqstat.histogram s ~owner:Run.App in
+  Alcotest.(check int) "capped" 1 (Olayout_metrics.Histogram.count h 33)
+
+let test_ijump_distribution () =
+  (* An indirect jump follows its weights. *)
+  let prog =
+    Helpers.prog_of_blocks "switch"
+      [
+        Helpers.block 0 2 (Block.Ijump [| (1, 3.0); (2, 1.0) |]);
+        Helpers.block 1 4 Block.Ret;
+        Helpers.block 2 4 Block.Ret;
+      ]
+  in
+  let walk = Walk.create ~prog ~rng:(Rng.create 11) in
+  let arm0 = ref 0 and n = 8000 in
+  Walk.add_sink walk (fun ~proc:_ ~block ~arm -> if block = 0 && arm = 0 then incr arm0);
+  for _ = 1 to n do
+    Walk.call walk 0
+  done;
+  let frac = float_of_int !arm0 /. float_of_int n in
+  Alcotest.(check bool) "weight 3:1 respected" true (abs_float (frac -. 0.75) < 0.03)
+
+let test_listing_renders () =
+  let prog = Helpers.call_prog () in
+  let placement = Placement.original prog in
+  let out =
+    Format.asprintf "%a" (fun ppf () -> Olayout_core.Listing.pp_proc ppf placement ~proc:0) ()
+  in
+  Alcotest.(check bool) "mentions proc name" true
+    (let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+       go 0
+     in
+     contains out "caller" && contains out "jsr" && contains out "ret");
+  let summary =
+    Format.asprintf "%a" (fun ppf () -> Olayout_core.Listing.pp_summary ppf placement) ()
+  in
+  Alcotest.(check bool) "summary has segments" true (String.length summary > 20)
+
+let test_recursion_guard () =
+  (* Build an (invalid) self-recursive program bypassing validation. *)
+  let prog =
+    {
+      Prog.name = "rec";
+      base_addr = 0;
+      procs =
+        [|
+          {
+            Proc.id = 0;
+            name = "r";
+            entry = 0;
+            blocks =
+              [|
+                Helpers.block 0 1 (Block.Call { callee = 0; ret = 1 });
+                Helpers.block 1 1 Block.Ret;
+              |];
+          };
+        |];
+    }
+  in
+  let walk = Walk.create ~prog ~rng:(Rng.create 1) in
+  Alcotest.(check bool) "depth guard fires" true
+    (try
+       Walk.call walk 0;
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "straight walk" `Quick test_straight_walk;
+      Alcotest.test_case "call walk" `Quick test_call_walk;
+      Alcotest.test_case "walk determinism" `Quick test_walk_determinism;
+      Alcotest.test_case "walk probability" `Quick test_walk_probability;
+      Alcotest.test_case "loop hint exact" `Quick test_loop_hint_exact;
+      Alcotest.test_case "loop hint zero" `Quick test_loop_hint_zero;
+      Alcotest.test_case "instr counter" `Quick test_instr_counter;
+      Alcotest.test_case "straight single run" `Quick test_straight_single_run;
+      Alcotest.test_case "call breaks runs" `Quick test_call_breaks_runs;
+      Alcotest.test_case "merger owner switch" `Quick test_merger_owner_switch;
+      Alcotest.test_case "merger gap breaks" `Quick test_merger_gap_breaks;
+      Alcotest.test_case "placement invariance" `Quick test_block_path_placement_invariant;
+      Alcotest.test_case "seqstat" `Quick test_seqstat;
+      Alcotest.test_case "seqstat cap" `Quick test_seqstat_cap;
+      Alcotest.test_case "recursion guard" `Quick test_recursion_guard;
+      Alcotest.test_case "ijump distribution" `Quick test_ijump_distribution;
+      Alcotest.test_case "listing renders" `Quick test_listing_renders;
+    ] )

@@ -1,0 +1,197 @@
+(* Tests for the experiment harness: tables, context, and every figure
+   experiment at Quick scale. *)
+
+module Table = Olayout_harness.Table
+module Context = Olayout_harness.Context
+module Spike = Olayout_core.Spike
+
+(* Local substring check. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_formatting () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "22" ];
+  Table.add_note t "a note";
+  let rendered = Format.asprintf "%a" Table.print t in
+  Alcotest.(check bool) "title" true (contains rendered "== demo ==");
+  Alcotest.(check bool) "note" true (contains rendered "note: a note");
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       Table.add_row t [ "x" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_formatters () =
+  Alcotest.(check string) "fmt_int" "1,234,567" (Table.fmt_int 1234567);
+  Alcotest.(check string) "fmt_int negative" "-1,234" (Table.fmt_int (-1234));
+  Alcotest.(check string) "fmt_int small" "42" (Table.fmt_int 42);
+  Alcotest.(check string) "fmt_pct" "42.3%" (Table.fmt_pct 0.423);
+  Alcotest.(check string) "fmt_ratio" "0.42" (Table.fmt_ratio 0.42)
+
+(* One shared Quick context: building it runs the training phase once. *)
+let ctx = lazy (Context.create ~scale:Context.Quick ())
+
+let test_context_placements () =
+  let ctx = Lazy.force ctx in
+  List.iter
+    (fun combo -> ignore (Context.placement ctx combo))
+    Spike.all_combos;
+  (* cached: same physical placement on re-request *)
+  Alcotest.(check bool) "placement cached" true
+    (Context.placement ctx Spike.All == Context.placement ctx Spike.All)
+
+let test_fig3 () =
+  let r = Olayout_harness.Fig_footprint.run (Lazy.force ctx) in
+  Alcotest.(check bool) "executed footprint plausible" true
+    (r.Olayout_harness.Fig_footprint.executed_bytes > 100_000);
+  Alcotest.(check bool) "60 < 99" true
+    (r.Olayout_harness.Fig_footprint.bytes_60 < r.Olayout_harness.Fig_footprint.bytes_99);
+  Alcotest.(check bool) "tables render" true
+    (Olayout_harness.Fig_footprint.tables r <> [])
+
+let test_fig4_reduction_band () =
+  let r = Olayout_harness.Fig_line_sweep.run (Lazy.force ctx) in
+  let m rows size_kb line = Olayout_harness.Fig_line_sweep.misses rows ~size_kb ~line in
+  (* The headline: optimized sharply reduces misses at 64-128 KB, 128 B. *)
+  List.iter
+    (fun size_kb ->
+      let base = m r.Olayout_harness.Fig_line_sweep.base size_kb 128 in
+      let opt = m r.Olayout_harness.Fig_line_sweep.optimized size_kb 128 in
+      let ratio = float_of_int opt /. float_of_int base in
+      Alcotest.(check bool)
+        (Printf.sprintf "big reduction at %dKB (ratio %.2f)" size_kb ratio)
+        true (ratio < 0.65))
+    [ 64; 128 ];
+  (* Misses decrease with cache size. *)
+  Alcotest.(check bool) "monotone in size" true
+    (m r.Olayout_harness.Fig_line_sweep.base 32 64 > m r.Olayout_harness.Fig_line_sweep.base 512 64)
+
+let test_fig7_ordering () =
+  let r = Olayout_harness.Fig_combos.run (Lazy.force ctx) in
+  let row = List.assoc 64 r.Olayout_harness.Fig_combos.rows in
+  let m combo = List.assoc combo row in
+  Alcotest.(check bool) "chain beats base" true (m Spike.Chain < m Spike.Base);
+  Alcotest.(check bool) "all beats chain" true (m Spike.All <= m Spike.Chain);
+  Alcotest.(check bool) "porder alone is weak" true
+    (float_of_int (m Spike.Porder) > 0.7 *. float_of_int (m Spike.Base))
+
+let test_fig8_sequences () =
+  let r = Olayout_harness.Fig_sequences.run (Lazy.force ctx) in
+  Alcotest.(check bool) "base in paper band" true
+    (r.Olayout_harness.Fig_sequences.base_mean > 5.0
+    && r.Olayout_harness.Fig_sequences.base_mean < 10.0);
+  Alcotest.(check bool) "optimized longer" true
+    (r.Olayout_harness.Fig_sequences.opt_mean > r.Olayout_harness.Fig_sequences.base_mean)
+
+let test_fig12_combined () =
+  let r = Olayout_harness.Fig_combined.run (Lazy.force ctx) in
+  let base = r.Olayout_harness.Fig_combined.base in
+  let opt = r.Olayout_harness.Fig_combined.optimized in
+  let at rows s = List.assoc s rows in
+  (* Combined misses exceed the isolated app misses (interference). *)
+  Alcotest.(check bool) "interference adds misses" true
+    (at base.Olayout_harness.Fig_combined.combined 64
+    >= at base.Olayout_harness.Fig_combined.app_isolated 64);
+  (* Optimization still wins on the combined stream. *)
+  Alcotest.(check bool) "combined reduction" true
+    (at opt.Olayout_harness.Fig_combined.combined 64
+    < at base.Olayout_harness.Fig_combined.combined 64);
+  (* App self-interference dominates app misses (paper Fig 13). *)
+  Alcotest.(check bool) "self-interference dominant" true
+    (base.Olayout_harness.Fig_combined.app_on_app
+    > base.Olayout_harness.Fig_combined.kernel_on_app)
+
+let test_fig14_memsys () =
+  let r = Olayout_harness.Fig_memsys.run (Lazy.force ctx) in
+  let b = r.Olayout_harness.Fig_memsys.base and o = r.Olayout_harness.Fig_memsys.optimized in
+  Alcotest.(check bool) "iTLB improves" true
+    (o.Olayout_harness.Fig_memsys.itlb < b.Olayout_harness.Fig_memsys.itlb);
+  Alcotest.(check bool) "L2 instr improves" true
+    (o.Olayout_harness.Fig_memsys.l2_instr <= b.Olayout_harness.Fig_memsys.l2_instr);
+  Alcotest.(check bool) "L1D unaffected" true
+    (o.Olayout_harness.Fig_memsys.l1d = b.Olayout_harness.Fig_memsys.l1d)
+
+let test_fig15_speedup () =
+  let r = Olayout_harness.Fig_exec_time.run (Lazy.force ctx) in
+  List.iter
+    (fun (name, speedup) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s speedup %.2f in band" name speedup)
+        true
+        (speedup > 1.1 && speedup < 1.6))
+    r.Olayout_harness.Fig_exec_time.speedups
+
+let test_fig8_one_instr_band () =
+  (* Reproduction calibration: the baseline's 1-instruction sequences sit
+     near the paper's 21% and drop sharply when optimized. *)
+  let r = Olayout_harness.Fig_sequences.run (Lazy.force ctx) in
+  let frac h = match List.assoc_opt 1 h with Some f -> f | None -> 0.0 in
+  let base1 = frac r.Olayout_harness.Fig_sequences.base_hist in
+  let opt1 = frac r.Olayout_harness.Fig_sequences.opt_hist in
+  Alcotest.(check bool)
+    (Printf.sprintf "base 1-instr %.1f%% in band" (100. *. base1))
+    true
+    (base1 > 0.12 && base1 < 0.30);
+  Alcotest.(check bool) "optimized reduces 1-instr" true (opt1 < base1)
+
+let test_footprint_calibration () =
+  (* The executed footprint must dwarf the 64-128KB caches under study and
+     carry a long warm tail, as in the paper's characterization. *)
+  let r = Olayout_harness.Fig_footprint.run (Lazy.force ctx) in
+  let open Olayout_harness.Fig_footprint in
+  Alcotest.(check bool) "executed 250KB-600KB" true
+    (r.executed_bytes > 250_000 && r.executed_bytes < 600_000);
+  Alcotest.(check bool) "head not degenerate" true (r.bytes_60 > 8 * 1024);
+  Alcotest.(check bool) "tail reaches ~200KB" true (r.bytes_99 > 130 * 1024)
+
+let test_prefetch_experiment () =
+  let r = Olayout_harness.Fig_prefetch.run (Lazy.force ctx) in
+  let row d = List.find (fun (x : Olayout_harness.Fig_prefetch.row) -> x.prefetch = d) r.rows in
+  Alcotest.(check bool) "prefetch reduces base misses" true
+    ((row 1).base_misses < (row 0).base_misses);
+  Alcotest.(check bool) "prefetch reduces opt misses" true
+    ((row 1).opt_misses < (row 0).opt_misses);
+  Alcotest.(check bool) "useful fractions sane" true
+    ((row 1).base_useful > 0.2 && (row 1).base_useful <= 1.0)
+
+let test_joint_experiment () =
+  let r = Olayout_harness.Fig_joint.run (Lazy.force ctx) in
+  Alcotest.(check bool) "kernel optimization helps combined stream" true
+    (r.Olayout_harness.Fig_joint.kernel_opt <= r.Olayout_harness.Fig_joint.kernel_base);
+  Alcotest.(check bool) "offset is sane" true
+    (r.Olayout_harness.Fig_joint.offset_bytes > 0
+    && r.Olayout_harness.Fig_joint.offset_bytes < 128 * 1024)
+
+let test_report_selection () =
+  Alcotest.(check bool) "ids nonempty" true (Olayout_harness.Report.experiment_ids <> []);
+  Alcotest.(check bool) "unknown id rejected" true
+    (try
+       Olayout_harness.Report.run
+         ~selection:(Olayout_harness.Report.Only [ "nope" ])
+         (Lazy.force ctx)
+         (Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "harness",
+    [
+      Alcotest.test_case "table formatting" `Quick test_table_formatting;
+      Alcotest.test_case "formatters" `Quick test_formatters;
+      Alcotest.test_case "context placements" `Slow test_context_placements;
+      Alcotest.test_case "fig3 footprint" `Slow test_fig3;
+      Alcotest.test_case "fig4 reduction band" `Slow test_fig4_reduction_band;
+      Alcotest.test_case "fig7 ordering" `Slow test_fig7_ordering;
+      Alcotest.test_case "fig8 sequences" `Slow test_fig8_sequences;
+      Alcotest.test_case "fig12 combined" `Slow test_fig12_combined;
+      Alcotest.test_case "fig14 memsys" `Slow test_fig14_memsys;
+      Alcotest.test_case "fig15 speedup" `Slow test_fig15_speedup;
+      Alcotest.test_case "fig8 1-instr band" `Slow test_fig8_one_instr_band;
+      Alcotest.test_case "footprint calibration" `Slow test_footprint_calibration;
+      Alcotest.test_case "prefetch experiment" `Slow test_prefetch_experiment;
+      Alcotest.test_case "joint experiment" `Slow test_joint_experiment;
+      Alcotest.test_case "report selection" `Slow test_report_selection;
+    ] )

@@ -1,0 +1,189 @@
+(* Tests for Olayout_ir: blocks, procedures, programs, validation, builder. *)
+
+open Olayout_ir
+
+let b = Helpers.block
+
+let test_successors () =
+  Alcotest.(check (list int)) "fall" [ 3 ] (Block.successors (b 0 1 (Block.Fall 3)));
+  Alcotest.(check (list int)) "jump" [ 9 ] (Block.successors (b 0 1 (Block.Jump 9)));
+  Alcotest.(check (list int)) "cond" [ 2; 1 ]
+    (Block.successors (b 0 1 (Block.Cond { taken = 2; fall = 1; p_taken = 0.5 })));
+  Alcotest.(check (list int)) "call ret" [ 1 ]
+    (Block.successors (b 0 1 (Block.Call { callee = 7; ret = 1 })));
+  Alcotest.(check (list int)) "ijump" [ 4; 5 ]
+    (Block.successors (b 0 1 (Block.Ijump [| (4, 1.0); (5, 2.0) |])));
+  Alcotest.(check (list int)) "ret" [] (Block.successors (b 0 1 Block.Ret));
+  Alcotest.(check (list int)) "halt" [] (Block.successors (b 0 1 Block.Halt))
+
+let test_arms () =
+  let cond = b 0 1 (Block.Cond { taken = 2; fall = 1; p_taken = 0.5 }) in
+  Alcotest.(check int) "cond arms" 2 (Block.arm_count cond);
+  Alcotest.(check (option int)) "cond arm0=taken" (Some 2) (Block.arm_target cond 0);
+  Alcotest.(check (option int)) "cond arm1=fall" (Some 1) (Block.arm_target cond 1);
+  let ij = b 0 1 (Block.Ijump [| (4, 1.0); (5, 2.0); (6, 3.0) |]) in
+  Alcotest.(check int) "ijump arms" 3 (Block.arm_count ij);
+  Alcotest.(check (option int)) "ijump arm2" (Some 6) (Block.arm_target ij 2);
+  Alcotest.(check (option int)) "ret arm" None (Block.arm_target (b 0 1 Block.Ret) 0)
+
+let test_source_instrs () =
+  Alcotest.(check int) "fall free" 4 (Block.source_instrs (b 0 4 (Block.Fall 1)));
+  Alcotest.(check int) "jump costs 1" 5 (Block.source_instrs (b 0 4 (Block.Jump 1)));
+  Alcotest.(check int) "cond costs 1" 5
+    (Block.source_instrs (b 0 4 (Block.Cond { taken = 1; fall = 1; p_taken = 0.5 })));
+  Alcotest.(check int) "ret costs 1" 5 (Block.source_instrs (b 0 4 Block.Ret));
+  Alcotest.(check int) "halt free" 4 (Block.source_instrs (b 0 4 Block.Halt))
+
+let test_unconditional_transfer () =
+  Alcotest.(check bool) "jump" true
+    (Block.term_is_unconditional_transfer (b 0 1 (Block.Jump 2)));
+  Alcotest.(check bool) "ret" true (Block.term_is_unconditional_transfer (b 0 1 Block.Ret));
+  Alcotest.(check bool) "fall" false
+    (Block.term_is_unconditional_transfer (b 0 1 (Block.Fall 1)));
+  Alcotest.(check bool) "call" false
+    (Block.term_is_unconditional_transfer (b 0 1 (Block.Call { callee = 0; ret = 1 })))
+
+let test_proc_queries () =
+  let prog = Helpers.diamond_prog 0.5 in
+  let p = Prog.proc prog 0 in
+  Alcotest.(check int) "n_blocks" 4 (Proc.n_blocks p);
+  (* 3+1 (cond) + 5+1 (jump) + 7+0 (fall) + 2+1 (ret) *)
+  Alcotest.(check int) "static instrs" 20 (Proc.static_instrs p);
+  let preds = Proc.predecessors p in
+  Alcotest.(check (list int)) "preds of b3" [ 1; 2 ] (List.sort compare preds.(3));
+  Alcotest.(check (list int)) "preds of b0" [] preds.(0)
+
+let test_prog_queries () =
+  let prog = Helpers.call_prog () in
+  Alcotest.(check int) "n_procs" 2 (Prog.n_procs prog);
+  Alcotest.(check int) "n_blocks" 4 (Prog.n_blocks prog);
+  Alcotest.(check bool) "find caller" true (Prog.find_proc prog "caller" <> None);
+  Alcotest.(check bool) "find missing" true (Prog.find_proc prog "nope" = None);
+  let count = ref 0 in
+  Prog.iter_blocks prog (fun _ _ -> incr count);
+  Alcotest.(check int) "iter_blocks visits all" 4 !count
+
+(* Simple substring search (avoids a Str dependency). *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_invalid expect prog =
+  match Validate.check prog with
+  | Ok () -> Alcotest.failf "expected invalid: %s" expect
+  | Error errors ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions %S" expect)
+        true
+        (List.exists (fun (e : Validate.error) -> contains e.what expect) errors)
+
+let test_validate_good () =
+  List.iter
+    (fun prog ->
+      match Validate.check prog with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "expected valid: %s" prog.Prog.name)
+    [
+      Helpers.straight_prog 5;
+      Helpers.diamond_prog 0.3;
+      Helpers.loop_prog 0.2;
+      Helpers.call_prog ();
+    ]
+
+let test_validate_bad_fall () =
+  check_invalid "fall-through"
+    (Helpers.prog_of_blocks "badfall" [ b 0 1 (Block.Fall 2); b 1 1 Block.Ret; b 2 1 Block.Ret ])
+
+let test_validate_bad_cond_fall () =
+  check_invalid "cond fall-through"
+    (Helpers.prog_of_blocks "badcond"
+       [
+         b 0 1 (Block.Cond { taken = 2; fall = 2; p_taken = 0.5 });
+         b 1 1 Block.Ret;
+         b 2 1 Block.Ret;
+       ])
+
+let test_validate_bad_probability () =
+  check_invalid "out of [0,1]"
+    (Helpers.prog_of_blocks "badp"
+       [ b 0 1 (Block.Cond { taken = 2; fall = 1; p_taken = 1.5 }); b 1 1 Block.Ret; b 2 1 Block.Ret ])
+
+let test_validate_bad_call_ret () =
+  check_invalid "call returns"
+    (Helpers.prog_of_blocks "badret"
+       [ b 0 1 (Block.Call { callee = 0; ret = 2 }); b 1 1 Block.Ret; b 2 1 Block.Ret ])
+
+let test_validate_out_of_range () =
+  check_invalid "out of range"
+    (Helpers.prog_of_blocks "badrange" [ b 0 1 (Block.Jump 7); b 1 1 Block.Ret ])
+
+let test_validate_empty_ijump () =
+  check_invalid "empty ijump" (Helpers.prog_of_blocks "badij" [ b 0 1 (Block.Ijump [||]) ])
+
+let test_validate_call_cycle () =
+  let self_call =
+    {
+      Prog.name = "cycle";
+      base_addr = 0;
+      procs =
+        [|
+          {
+            Proc.id = 0;
+            name = "rec";
+            entry = 0;
+            blocks = [| b 0 1 (Block.Call { callee = 0; ret = 1 }); b 1 1 Block.Ret |];
+          };
+        |];
+    }
+  in
+  check_invalid "cycle" self_call
+
+let test_builder_roundtrip () =
+  let pb = Olayout_ir.Builder.proc ~name:"f" in
+  let b0 = Olayout_ir.Builder.add_block pb ~body:3 (Block.Fall 1) in
+  let _b1 = Olayout_ir.Builder.add_block pb ~body:2 Block.Ret in
+  Alcotest.(check int) "first id" 0 b0;
+  let t = Olayout_ir.Builder.program ~name:"prog" ~base_addr:0x100 in
+  let pid = Olayout_ir.Builder.add_proc t (fun ~id -> Olayout_ir.Builder.seal pb ~id) in
+  Alcotest.(check int) "pid" 0 pid;
+  let prog = Olayout_ir.Builder.finish t in
+  Alcotest.(check int) "built procs" 1 (Prog.n_procs prog)
+
+let test_builder_empty_proc () =
+  let pb = Olayout_ir.Builder.proc ~name:"empty" in
+  Alcotest.(check bool) "seal empty raises" true
+    (try
+       ignore (Olayout_ir.Builder.seal pb ~id:0);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_random_programs_valid =
+  QCheck.Test.make ~name:"synthesized programs validate" ~count:40 QCheck.small_int
+    (fun seed ->
+      let built = Helpers.random_program seed in
+      match Validate.check (Olayout_codegen.Binary.prog built) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "successors" `Quick test_successors;
+      Alcotest.test_case "arms" `Quick test_arms;
+      Alcotest.test_case "source instrs" `Quick test_source_instrs;
+      Alcotest.test_case "unconditional transfer" `Quick test_unconditional_transfer;
+      Alcotest.test_case "proc queries" `Quick test_proc_queries;
+      Alcotest.test_case "prog queries" `Quick test_prog_queries;
+      Alcotest.test_case "validate good" `Quick test_validate_good;
+      Alcotest.test_case "validate bad fall" `Quick test_validate_bad_fall;
+      Alcotest.test_case "validate bad cond fall" `Quick test_validate_bad_cond_fall;
+      Alcotest.test_case "validate bad probability" `Quick test_validate_bad_probability;
+      Alcotest.test_case "validate bad call ret" `Quick test_validate_bad_call_ret;
+      Alcotest.test_case "validate out of range" `Quick test_validate_out_of_range;
+      Alcotest.test_case "validate empty ijump" `Quick test_validate_empty_ijump;
+      Alcotest.test_case "validate call cycle" `Quick test_validate_call_cycle;
+      Alcotest.test_case "builder roundtrip" `Quick test_builder_roundtrip;
+      Alcotest.test_case "builder empty proc" `Quick test_builder_empty_proc;
+      QCheck_alcotest.to_alcotest qcheck_random_programs_valid;
+    ] )

