@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 # full reproduction (~minutes)
      dune exec bench/main.exe -- --quick      # reduced transaction counts
      dune exec bench/main.exe -- --only fig4,fig15
-     dune exec bench/main.exe -- --no-micro   # skip pass microbenchmarks *)
+     dune exec bench/main.exe -- --no-micro   # skip pass microbenchmarks
+     dune exec bench/main.exe -- --trace-stats  # per-figure replay/live attribution *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -18,6 +19,7 @@ module Pettis_hansen = Olayout_core.Pettis_hansen
 
 let parse_args () =
   let quick = ref false and only = ref None and micro = ref true in
+  let trace_stats = ref false in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -25,6 +27,9 @@ let parse_args () =
         go rest
     | "--no-micro" :: rest ->
         micro := false;
+        go rest
+    | "--trace-stats" :: rest ->
+        trace_stats := true;
         go rest
     | "--only" :: ids :: rest ->
         only := Some (String.split_on_char ',' ids);
@@ -34,7 +39,7 @@ let parse_args () =
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !only, !micro)
+  (!quick, !only, !micro, !trace_stats)
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
 
@@ -71,6 +76,12 @@ let microbench ctx =
       (Olayout_cachesim.Icache.create
          (Olayout_cachesim.Icache.config ~size_kb:64 ~line:128 ~assoc:2 ()))
   in
+  let trace =
+    lazy
+      (let emit, t = Olayout_exec.Trace.record () in
+       Array.iter emit (Lazy.force runs);
+       t)
+  in
   let tests =
     Test.make_grouped ~name:"layout passes"
       [
@@ -94,6 +105,15 @@ let microbench ctx =
                Array.iter
                  (fun r -> Olayout_cachesim.Icache.access_run cache r)
                  (Lazy.force runs)));
+        Test.make ~name:"trace decode+replay (50k runs)"
+          (Staged.stage (fun () ->
+               let n = ref 0 in
+               Olayout_exec.Trace.replay (Lazy.force trace) (fun _ -> incr n)));
+        Test.make ~name:"trace replay into icache (50k runs)"
+          (Staged.stage (fun () ->
+               let cache = Lazy.force sim_cache in
+               Olayout_exec.Trace.replay (Lazy.force trace)
+                 (Olayout_cachesim.Icache.access_run cache)));
       ]
   in
   let benchmark () =
@@ -118,7 +138,7 @@ let microbench ctx =
     results
 
 let () =
-  let quick, only, micro = parse_args () in
+  let quick, only, micro, trace_stats = parse_args () in
   let t0 = Unix.gettimeofday () in
   let scale = if quick then Context.Quick else Context.Full in
   Format.printf
@@ -129,6 +149,6 @@ let () =
   let selection =
     match only with None -> Report.All | Some ids -> Report.Only ids
   in
-  Report.run ~selection ctx Format.std_formatter;
+  Report.run ~selection ~trace_stats ctx Format.std_formatter;
   if micro then microbench ctx;
   Format.printf "@.bench total: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -315,11 +315,11 @@ let trace_cmd =
 
 (* --- report --- *)
 
-let report seed quick only =
+let report seed quick only trace_stats =
   let scale = if quick then Context.Quick else Context.Full in
   let ctx = Context.create ~scale ~seed () in
   let selection = match only with [] -> Report.All | ids -> Report.Only ids in
-  Report.run ~selection ctx Format.std_formatter;
+  Report.run ~selection ~trace_stats ctx Format.std_formatter;
   0
 
 let report_cmd =
@@ -331,9 +331,18 @@ let report_cmd =
             (Printf.sprintf "Experiments to run (default all): %s."
                (String.concat ", " Report.experiment_ids)))
   in
+  let trace_stats_arg =
+    Arg.(
+      value & flag
+      & info [ "trace-stats" ]
+          ~doc:
+            "Print per-figure trace capture/replay statistics (runs and \
+             instructions replayed vs simulated live, replay throughput) and \
+             a trace-cache summary.")
+  in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's figures.")
-    Term.(const report $ seed_arg $ quick_arg $ only_arg)
+    Term.(const report $ seed_arg $ quick_arg $ only_arg $ trace_stats_arg)
 
 let () =
   let doc = "code layout optimizations for transaction processing workloads" in

@@ -12,4 +12,12 @@ let find t name =
     Array.find_opt (fun c -> String.equal (Icache.cfg c).Icache.name name) t.caches
   with
   | Some c -> c
-  | None -> raise Not_found
+  | None ->
+      let available =
+        Array.to_list t.caches
+        |> List.map (fun c -> (Icache.cfg c).Icache.name)
+        |> String.concat ", "
+      in
+      invalid_arg
+        (Printf.sprintf "Battery.find: no cache configuration %S (available: %s)" name
+           (if available = "" then "none" else available))

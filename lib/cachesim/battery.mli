@@ -11,4 +11,6 @@ val access_run : t -> Olayout_exec.Run.t -> unit
 val flush_residents : t -> unit
 val caches : t -> Icache.t list
 val find : t -> string -> Icache.t
-(** Lookup by configuration name.  @raise Not_found when absent. *)
+(** Lookup by configuration name.
+    @raise Invalid_argument when absent, naming the requested configuration
+    and the available cache names. *)

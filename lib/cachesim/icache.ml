@@ -59,6 +59,8 @@ let owner_code = function Run.App -> 0 | Run.Kernel -> 1
 let create ?(track_usage = false) ?on_miss ?(prefetch_next = 0) cfg =
   if not (is_pow2 cfg.size_bytes && is_pow2 cfg.line_bytes) then
     invalid_arg "Icache.create: size and line must be powers of two";
+  if cfg.line_bytes < 4 then
+    invalid_arg "Icache.create: line must hold at least one 4-byte instruction";
   if cfg.assoc < 1 || cfg.size_bytes < cfg.line_bytes * cfg.assoc then
     invalid_arg "Icache.create: bad associativity";
   let n_sets = cfg.size_bytes / (cfg.line_bytes * cfg.assoc) in

@@ -1,0 +1,103 @@
+(* Compact append-only instruction-trace buffer (see trace.mli).
+
+   Encoding: one record per merged run, two LEB128 varints —
+     k     = (len lsl 1) lor owner_bit
+     delta = zigzag (addr - previous run's end address)
+   Sequential streams make the address delta small (often one byte), so a
+   run costs ~2-5 bytes instead of three boxed-record words.  Chunks are
+   fixed-size Bytes buffers; appending never allocates per run beyond the
+   occasional fresh chunk. *)
+
+let chunk_bytes = 1 lsl 18
+
+(* Worst case record: two 10-byte varints. *)
+let max_record_bytes = 20
+
+type t = {
+  mutable filled : (Bytes.t * int) list;  (* complete chunks, newest first *)
+  mutable cur : Bytes.t;
+  mutable pos : int;
+  mutable runs : int;
+  mutable instrs : int;
+  mutable prev_end : int;  (* end address of the last appended run *)
+}
+
+let create () =
+  {
+    filled = [];
+    cur = Bytes.create chunk_bytes;
+    pos = 0;
+    runs = 0;
+    instrs = 0;
+    prev_end = 0;
+  }
+
+(* Unsigned LEB128 append; [v] must be non-negative. *)
+let put t v =
+  let v = ref v in
+  let more = ref true in
+  while !more do
+    let b = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Bytes.unsafe_set t.cur t.pos (Char.unsafe_chr b);
+      more := false
+    end
+    else Bytes.unsafe_set t.cur t.pos (Char.unsafe_chr (b lor 0x80));
+    t.pos <- t.pos + 1
+  done
+
+let append t (r : Run.t) =
+  if t.pos > chunk_bytes - max_record_bytes then begin
+    t.filled <- (t.cur, t.pos) :: t.filled;
+    t.cur <- Bytes.create chunk_bytes;
+    t.pos <- 0
+  end;
+  let owner_bit = match r.Run.owner with Run.App -> 0 | Run.Kernel -> 1 in
+  put t ((r.len lsl 1) lor owner_bit);
+  let delta = r.addr - t.prev_end in
+  (* zigzag: small negative deltas also encode in one byte *)
+  put t ((delta lsl 1) lxor (delta asr 62));
+  t.prev_end <- Run.end_addr r;
+  t.runs <- t.runs + 1;
+  t.instrs <- t.instrs + r.len
+
+let record () =
+  let t = create () in
+  ((fun r -> append t r), t)
+
+let replay t f =
+  let prev_end = ref 0 in
+  let consume buf len =
+    let pos = ref 0 in
+    while !pos < len do
+      let varint () =
+        let v = ref 0 and shift = ref 0 and more = ref true in
+        while !more do
+          let b = Char.code (Bytes.unsafe_get buf !pos) in
+          incr pos;
+          v := !v lor ((b land 0x7f) lsl !shift);
+          shift := !shift + 7;
+          if b < 0x80 then more := false
+        done;
+        !v
+      in
+      let k = varint () in
+      let zig = varint () in
+      let delta = (zig lsr 1) lxor (- (zig land 1)) in
+      let owner = if k land 1 = 0 then Run.App else Run.Kernel in
+      let len = k lsr 1 in
+      let addr = !prev_end + delta in
+      f { Run.owner; addr; len };
+      prev_end := addr + (len * 4)
+    done
+  in
+  List.iter (fun (buf, len) -> consume buf len) (List.rev t.filled);
+  consume t.cur t.pos
+
+let length t = t.runs
+let instrs t = t.instrs
+
+let memory_bytes t =
+  (* Allocated chunk space; the tail chunk counts in full. *)
+  (List.length t.filled + 1) * chunk_bytes

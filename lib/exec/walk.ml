@@ -6,17 +6,31 @@ type sink = proc:int -> block:int -> arm:int -> unit
 type t = {
   prog : Prog.t;
   rng : Rng.t;
-  mutable sinks : sink list;  (* kept in registration order *)
+  mutable rev_sinks : sink list;  (* newest first: O(1) registration *)
+  mutable sinks : sink array;     (* frozen registration-order view *)
+  mutable sinks_stale : bool;
   mutable instrs : int;
   mutable blocks : int;
 }
 
-let create ~prog ~rng = { prog; rng; sinks = []; instrs = 0; blocks = 0 }
-let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+let create ~prog ~rng =
+  { prog; rng; rev_sinks = []; sinks = [||]; sinks_stale = false; instrs = 0; blocks = 0 }
+
+let add_sink t sink =
+  t.rev_sinks <- sink :: t.rev_sinks;
+  t.sinks_stale <- true
+
+let frozen_sinks t =
+  if t.sinks_stale then begin
+    t.sinks <- Array.of_list (List.rev t.rev_sinks);
+    t.sinks_stale <- false
+  end;
+  t.sinks
 
 let max_depth = 64
 
 let call t ?(hints = []) pid =
+  let sinks = frozen_sinks t in
   let hint_tbl =
     match hints with
     | [] -> None
@@ -32,7 +46,7 @@ let call t ?(hints = []) pid =
     let record (b : Block.t) arm =
       t.blocks <- t.blocks + 1;
       t.instrs <- t.instrs + Block.source_instrs b;
-      List.iter (fun sink -> sink ~proc:pid ~block:b.Block.id ~arm) t.sinks
+      Array.iter (fun sink -> sink ~proc:pid ~block:b.Block.id ~arm) sinks
     in
     let current = ref (Some p.Proc.entry) in
     while !current <> None do

@@ -30,7 +30,10 @@ type result = {
 let cache_64 () = Icache.create (Icache.config ~size_kb:64 ~line:128 ~assoc:1 ())
 let cache_128 () = Icache.create (Icache.config ~size_kb:128 ~line:128 ~assoc:4 ())
 
-let app_only cache run = if run.Run.owner = Run.App then Icache.access_run cache run
+(* Replay-compatible where the stream is a context placement (Spike.All);
+   the ablation-specific placements simulate live and the kernel ablation's
+   optimized-kernel stream records for fig_joint to replay. *)
+let app_only cache = Context.app_only (Icache.access_run cache)
 
 (* The kernel ablation needs two *separate* runs: the kernel placement is
    shared by all renders of one execution. *)

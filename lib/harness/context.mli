@@ -1,10 +1,19 @@
-(** Shared experiment context: binaries, training profiles, and the
-    placements for every optimization combination.
+(** Shared experiment context: binaries, training profiles, the placements
+    for every optimization combination — and the trace cache.
 
     Building a context runs the profiling phase once; every figure then
     reuses the same profiles and placements, and runs its own measurement
     execution with a fresh seed (train seed 1, measurement seed 1009 —
-    the paper's 2000-transaction profile vs separate evaluation runs). *)
+    the paper's 2000-transaction profile vs separate evaluation runs).
+
+    Measurement executions themselves are deduplicated the way the paper's
+    methodology does (§4: collect the trace once, run it through many
+    simulators): the first {!measure} of a given (combo, kernel placement,
+    transaction count) walks the OLTP server and records the rendered run
+    stream into an {!Olayout_exec.Trace.t}; every later figure asking for
+    the same stream gets a replay at memory speed.  Figures that need the
+    walk itself (block sinks, data references, switch observers) fall back
+    to live simulation transparently. *)
 
 module Placement = Olayout_core.Placement
 module Profile = Olayout_profile.Profile
@@ -34,6 +43,26 @@ val kernel_optimized : t -> Placement.t
 
 val measured_txns : t -> int
 
+val app_only : (Run.t -> unit) -> Run.t -> unit
+(** [app_only emit] is a render sink forwarding only application-owned runs
+    to [emit] (the common "app stream" filter of the figure harnesses). *)
+
+type trace_stats = {
+  live_executions : int;  (** full OLTP server walks performed *)
+  live_runs : int;  (** runs emitted by live render sinks *)
+  live_instrs : int;
+  recorded_traces : int;
+  replayed_traces : int;
+  replayed_runs : int;
+  replayed_instrs : int;
+  replay_seconds : float;  (** wall-clock spent replaying *)
+  trace_bytes : int;  (** resident size of the trace cache *)
+}
+
+val trace_stats : t -> trace_stats
+(** Cumulative capture/replay counters (snapshot them around a figure to
+    attribute work; see {!Report.run}'s [trace_stats] flag). *)
+
 val measure :
   t ->
   ?txns:int ->
@@ -46,7 +75,13 @@ val measure :
   Olayout_oltp.Server.result
 (** Run one measurement execution rendering the same block path under every
     requested combination.  All renders share the kernel placement
-    (default: the unoptimized kernel, as in the paper's main results). *)
+    (default: the unoptimized kernel, as in the paper's main results).
+
+    Streams already in the trace cache are replayed instead of simulated;
+    uncached streams are simulated live and recorded for later figures.
+    Passing [on_data], [app_sinks] or [on_switch] forces a live execution
+    (those observe the walk, which a replay does not perform), but cached
+    render streams still replay and new ones are still recorded. *)
 
 val measure_raw :
   t ->

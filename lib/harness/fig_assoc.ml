@@ -13,8 +13,9 @@ let configs =
       [ Icache.config ~size_kb ~line:128 ~assoc:1 (); Icache.config ~size_kb ~line:128 ~assoc:4 () ])
     sizes
 
-let app_only battery run =
-  if run.Run.owner = Run.App then Battery.access_run battery run
+(* Replay-compatible: same (Base, All) streams as fig_line_sweep, so this
+   figure is served entirely from the context's trace cache. *)
+let app_only battery = Context.app_only (Battery.access_run battery)
 
 let run ctx =
   let b_base = Battery.create configs and b_opt = Battery.create configs in

@@ -28,7 +28,8 @@ let per_size battery f = List.map (fun s -> (s, f (find battery s))) sizes
 let run ctx =
   let mk () = Battery.create configs in
   (* Per combo: a combined-stream battery and an app-isolated battery; the
-     kernel-isolated stream is the same under both combos. *)
+     kernel-isolated stream is the same under both combos.  Replay-
+     compatible: both feeds consume only the rendered run stream. *)
   let b_comb = mk () and b_app = mk () and o_comb = mk () and o_app = mk () in
   let k_iso = mk () in
   let feed comb app ~with_kernel run =

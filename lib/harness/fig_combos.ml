@@ -12,8 +12,9 @@ let sizes = Fig_line_sweep.cache_sizes_kb
 
 let configs = List.map (fun size_kb -> Icache.config ~size_kb ~line:128 ~assoc:4 ()) sizes
 
-let app_only battery run =
-  if run.Run.owner = Run.App then Battery.access_run battery run
+(* Replay-compatible: Base and All replay from the trace cache; the four
+   intermediate combos record on first use (reused by fig15). *)
+let app_only battery = Context.app_only (Battery.access_run battery)
 
 let run ctx =
   let batteries = List.map (fun combo -> (combo, Battery.create configs)) Spike.all_combos in

@@ -16,8 +16,10 @@ let configs =
     (fun size_kb -> List.map (fun line -> Icache.config ~size_kb ~line ~assoc:1 ()) line_sizes)
     cache_sizes_kb
 
-let app_only battery run =
-  if run.Run.owner = Run.App then Battery.access_run battery run
+(* Replay-compatible: consumes only the rendered run stream, so after the
+   first figure records (Base, All) the measurement replays from the
+   context's trace cache. *)
+let app_only battery = Context.app_only (Battery.access_run battery)
 
 let collect battery =
   List.map

@@ -20,9 +20,9 @@ let run ctx =
   in
   let base_caches = List.map (fun d -> (d, mk d)) depths in
   let opt_caches = List.map (fun d -> (d, mk d)) depths in
-  let feed caches run =
-    if run.Run.owner = Run.App then
-      List.iter (fun (_, c) -> Icache.access_run c run) caches
+  (* Replay-compatible: the (Base, All) streams come from the trace cache. *)
+  let feed caches =
+    Context.app_only (fun run -> List.iter (fun (_, c) -> Icache.access_run c run) caches)
   in
   let _ =
     Context.measure ctx

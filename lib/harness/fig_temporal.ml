@@ -65,11 +65,13 @@ let run ctx =
           Icache.create (Icache.config ~size_kb:128 ~line:128 ~assoc:1 ()) ))
       placements
   in
-  let app_only (c64, c128) run =
-    if run.Run.owner = Run.App then begin
-      Icache.access_run c64 run;
-      Icache.access_run c128 run
-    end
+  (* Replay-compatible: the Base and All placements are the context's
+     cached ones, so those two streams replay; the temporal/P-H variants
+     are figure-local placements and simulate live. *)
+  let app_only (c64, c128) =
+    Context.app_only (fun run ->
+        Icache.access_run c64 run;
+        Icache.access_run c128 run)
   in
   let _ =
     Context.measure_raw ctx

@@ -32,7 +32,54 @@ let experiments :
 
 let experiment_ids = List.map (fun (id, _, _) -> id) experiments
 
-let run ?(selection = All) ctx ppf =
+let mruns_per_s runs seconds =
+  if seconds <= 0.0 then "-"
+  else Printf.sprintf "%.1f Mruns/s" (float_of_int runs /. seconds /. 1e6)
+
+(* One line per figure attributing its instruction streams to replay vs
+   live simulation (deltas of the context's cumulative counters). *)
+let print_figure_trace_stats ppf id (s0 : Context.trace_stats)
+    (s1 : Context.trace_stats) =
+  let traces = s1.Context.replayed_traces - s0.Context.replayed_traces in
+  let runs = s1.Context.replayed_runs - s0.Context.replayed_runs in
+  let instrs = s1.Context.replayed_instrs - s0.Context.replayed_instrs in
+  let seconds = s1.Context.replay_seconds -. s0.Context.replay_seconds in
+  let live_runs = s1.Context.live_runs - s0.Context.live_runs in
+  let execs = s1.Context.live_executions - s0.Context.live_executions in
+  if traces > 0 then
+    Format.fprintf ppf
+      "  trace: %s served from replayed trace — %d trace(s), %s runs / %s instrs (%s); %s runs simulated live (%d execution(s))@."
+      id traces (Table.fmt_int runs) (Table.fmt_int instrs)
+      (mruns_per_s runs seconds) (Table.fmt_int live_runs) execs
+  else
+    Format.fprintf ppf
+      "  trace: %s simulated live — %s runs (%d execution(s)), no replay@." id
+      (Table.fmt_int live_runs) execs
+
+let trace_summary_table (s : Context.trace_stats) =
+  let tbl =
+    Table.create ~title:"trace cache summary" ~columns:[ "metric"; "value" ]
+  in
+  Table.add_row tbl [ "server executions (live)"; string_of_int s.Context.live_executions ];
+  Table.add_row tbl [ "runs simulated live"; Table.fmt_int s.Context.live_runs ];
+  Table.add_row tbl [ "instrs simulated live"; Table.fmt_int s.Context.live_instrs ];
+  Table.add_row tbl [ "traces recorded"; string_of_int s.Context.recorded_traces ];
+  Table.add_row tbl
+    [
+      "trace cache footprint";
+      Printf.sprintf "%.1f MB" (float_of_int s.Context.trace_bytes /. 1048576.0);
+    ];
+  Table.add_row tbl [ "traces replayed"; string_of_int s.Context.replayed_traces ];
+  Table.add_row tbl [ "runs replayed"; Table.fmt_int s.Context.replayed_runs ];
+  Table.add_row tbl [ "instrs replayed"; Table.fmt_int s.Context.replayed_instrs ];
+  Table.add_row tbl
+    [
+      "replay throughput";
+      mruns_per_s s.Context.replayed_runs s.Context.replay_seconds;
+    ];
+  tbl
+
+let run ?(selection = All) ?(trace_stats = false) ctx ppf =
   let selected =
     match selection with
     | All -> experiments
@@ -47,8 +94,12 @@ let run ?(selection = All) ctx ppf =
   List.iter
     (fun (id, desc, exp) ->
       let t0 = Unix.gettimeofday () in
+      let s0 = Context.trace_stats ctx in
       Format.fprintf ppf "@.### %s — %s@." id desc;
       let tables = exp ctx in
       List.iter (fun tbl -> Table.print ppf tbl) tables;
-      Format.fprintf ppf "  (%s took %.1fs)@." id (Unix.gettimeofday () -. t0))
-    selected
+      Format.fprintf ppf "  (%s took %.1fs)@." id (Unix.gettimeofday () -. t0);
+      if trace_stats then
+        print_figure_trace_stats ppf id s0 (Context.trace_stats ctx))
+    selected;
+  if trace_stats then Table.print ppf (trace_summary_table (Context.trace_stats ctx))

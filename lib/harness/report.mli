@@ -11,6 +11,11 @@ type selection =
 
 val experiment_ids : string list
 
-val run : ?selection:selection -> Context.t -> Format.formatter -> unit
+val run :
+  ?selection:selection -> ?trace_stats:bool -> Context.t -> Format.formatter -> unit
 (** Executes the selected experiments in order, printing each experiment's
-    tables as it completes (with wall-clock timings). *)
+    tables as it completes (with wall-clock timings).  With [trace_stats]
+    (default false), also prints one line per figure attributing its
+    instruction streams to trace replay vs live simulation — runs/instrs
+    replayed, replay throughput in Mruns/s — and a final trace-cache
+    summary table. *)

@@ -17,6 +17,10 @@ let log2 n =
   go n 0
 
 let create ?on_miss ~name ~size_bytes ~line_bytes ~assoc () =
+  (* [0 land -1 = 0] would pass the power-of-two test below and then divide
+     by zero computing the set count; reject non-positive sizes first. *)
+  if line_bytes <= 0 then invalid_arg "Cache.create: line size must be positive";
+  if size_bytes <= 0 then invalid_arg "Cache.create: cache size must be positive";
   if line_bytes land (line_bytes - 1) <> 0 then
     invalid_arg "Cache.create: line must be a power of two";
   if assoc < 1 || size_bytes < line_bytes * assoc then

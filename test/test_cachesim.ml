@@ -139,11 +139,18 @@ let test_battery () =
   let c1 = Battery.find b "1KB/64B/1-way" and c2 = Battery.find b "2KB/64B/1-way" in
   Alcotest.(check int) "1KB conflicts" 3 (Icache.misses c1);
   Alcotest.(check int) "2KB fits" 2 (Icache.misses c2);
-  Alcotest.(check bool) "find missing raises" true
+  Alcotest.(check bool) "find missing raises with context" true
     (try
        ignore (Battery.find b "nope");
        false
-     with Not_found -> true)
+     with Invalid_argument msg ->
+       (* the error names the request and the available configurations *)
+       let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       contains msg "nope" && contains msg "1KB/64B/1-way" && contains msg "2KB/64B/1-way")
 
 let test_prefetch_next_line () =
   let c = Icache.create ~prefetch_next:1 (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ()) in
@@ -182,7 +189,7 @@ let test_bad_configs () =
            ignore (Icache.create (Icache.config ~size_kb ~line ~assoc ()));
            false
          with Invalid_argument _ -> true))
-    [ (3, 64, 1); (1, 48, 1); (1, 64, 0); (1, 2048, 1) ]
+    [ (3, 64, 1); (1, 48, 1); (1, 64, 0); (1, 2048, 1); (1, 0, 1); (1, 2, 1); (0, 64, 1) ]
 
 (* --- reference model cross-check --- *)
 

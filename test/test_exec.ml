@@ -6,6 +6,7 @@ module Walk = Olayout_exec.Walk
 module Render = Olayout_exec.Render
 module Run = Olayout_exec.Run
 module Seqstat = Olayout_exec.Seqstat
+module Trace = Olayout_exec.Trace
 module Placement = Olayout_core.Placement
 module Rng = Olayout_util.Rng
 
@@ -179,6 +180,79 @@ let test_ijump_distribution () =
   let frac = float_of_int !arm0 /. float_of_int n in
   Alcotest.(check bool) "weight 3:1 respected" true (abs_float (frac -. 0.75) < 0.03)
 
+let replayed t =
+  let acc = ref [] in
+  Trace.replay t (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+let test_trace_roundtrip () =
+  (* Mixed owners, forward and backward address deltas, large jumps. *)
+  let runs =
+    [
+      { Run.owner = Run.App; addr = 0x1000; len = 17 };
+      { Run.owner = Run.Kernel; addr = 0x8000_0000; len = 3 };
+      { Run.owner = Run.App; addr = 0x1044; len = 1 };
+      { Run.owner = Run.App; addr = 0x10; len = 250 };
+      { Run.owner = Run.Kernel; addr = 0x7fff_fff0; len = 1_000_000 };
+      { Run.owner = Run.App; addr = 0; len = 1 };
+    ]
+  in
+  let emit, t = Trace.record () in
+  List.iter emit runs;
+  Alcotest.(check int) "length" (List.length runs) (Trace.length t);
+  Alcotest.(check int) "instrs"
+    (List.fold_left (fun acc r -> acc + r.Run.len) 0 runs)
+    (Trace.instrs t);
+  Alcotest.(check bool) "roundtrip exact" true (replayed t = runs);
+  (* Replay is repeatable. *)
+  Alcotest.(check bool) "replay twice" true (replayed t = runs);
+  Alcotest.(check bool) "footprint positive" true (Trace.memory_bytes t > 0)
+
+let test_trace_multi_chunk () =
+  (* Enough runs to span several 256KB chunks; addresses hop around so deltas
+     are not trivially small. *)
+  let n = 200_000 in
+  let emit, t = Trace.record () in
+  let expect = ref [] in
+  for i = 0 to n - 1 do
+    let r =
+      {
+        Run.owner = (if i land 3 = 0 then Run.Kernel else Run.App);
+        addr = (i * 7919) land 0xff_ffff lor 0x10_0000;
+        len = 1 + (i land 63);
+      }
+    in
+    expect := r :: !expect;
+    emit r
+  done;
+  Alcotest.(check int) "length" n (Trace.length t);
+  Alcotest.(check bool) "spans chunks" true (Trace.memory_bytes t > 1 lsl 18);
+  Alcotest.(check bool) "roundtrip exact" true (replayed t = List.rev !expect)
+
+let test_trace_captures_merger_tail () =
+  (* Recording through a merger: the trailing run only reaches the trace on
+     flush, mirroring how Server.run finalises its renders. *)
+  let emit, t = Trace.record () in
+  let m = Render.merger ~emit in
+  Render.feed m Run.App ~addr:0 ~len:4;
+  Render.feed m Run.App ~addr:16 ~len:2;
+  Alcotest.(check int) "tail unflushed" 0 (Trace.length t);
+  Render.flush m;
+  Alcotest.(check bool) "tail flushed" true
+    (replayed t = [ { Run.owner = Run.App; addr = 0; len = 6 } ])
+
+let test_sink_order () =
+  (* Sinks fire in registration order, including sinks added between calls. *)
+  let prog = Helpers.straight_prog 1 in
+  let walk = Walk.create ~prog ~rng:(Rng.create 1) in
+  let order = ref [] in
+  Walk.add_sink walk (fun ~proc:_ ~block:_ ~arm:_ -> order := 1 :: !order);
+  Walk.add_sink walk (fun ~proc:_ ~block:_ ~arm:_ -> order := 2 :: !order);
+  Walk.call walk 0;
+  Walk.add_sink walk (fun ~proc:_ ~block:_ ~arm:_ -> order := 3 :: !order);
+  Walk.call walk 0;
+  Alcotest.(check (list int)) "order" [ 1; 2; 1; 2; 3 ] (List.rev !order)
+
 let test_listing_renders () =
   let prog = Helpers.call_prog () in
   let placement = Placement.original prog in
@@ -243,6 +317,10 @@ let suite =
       Alcotest.test_case "seqstat" `Quick test_seqstat;
       Alcotest.test_case "seqstat cap" `Quick test_seqstat_cap;
       Alcotest.test_case "recursion guard" `Quick test_recursion_guard;
+      Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+      Alcotest.test_case "trace multi-chunk" `Quick test_trace_multi_chunk;
+      Alcotest.test_case "trace merger tail" `Quick test_trace_captures_merger_tail;
+      Alcotest.test_case "sink order" `Quick test_sink_order;
       Alcotest.test_case "ijump distribution" `Quick test_ijump_distribution;
       Alcotest.test_case "listing renders" `Quick test_listing_renders;
     ] )

@@ -165,6 +165,32 @@ let test_joint_experiment () =
     (r.Olayout_harness.Fig_joint.offset_bytes > 0
     && r.Olayout_harness.Fig_joint.offset_bytes < 128 * 1024)
 
+let test_trace_replay_in_context () =
+  (* Two identical measurements through the context: the first records the
+     run stream, the second replays it — with byte-identical miss counts. *)
+  let ctx = Lazy.force ctx in
+  let module Icache = Olayout_cachesim.Icache in
+  let measure () =
+    let c = Icache.create (Icache.config ~size_kb:64 ~line:128 ~assoc:2 ()) in
+    ignore
+      (Context.measure ctx
+         ~renders:[ (Spike.Base, Context.app_only (Icache.access_run c)) ]
+         ());
+    (Icache.misses c, Icache.accesses c, Icache.cold_misses c)
+  in
+  let first = measure () in
+  let s1 = Context.trace_stats ctx in
+  let second = measure () in
+  let s2 = Context.trace_stats ctx in
+  Alcotest.(check bool) "identical counters" true (first = second);
+  (* The shared context may have cached this stream already (earlier figure
+     tests measure Base too) — but by now it must exist and be replayed. *)
+  Alcotest.(check bool) "stream is in the cache" true (s1.Context.recorded_traces > 0);
+  Alcotest.(check bool) "second run replayed" true
+    (s2.Context.replayed_traces > s1.Context.replayed_traces);
+  Alcotest.(check bool) "replayed runs counted" true
+    (s2.Context.replayed_runs > s1.Context.replayed_runs)
+
 let test_report_selection () =
   Alcotest.(check bool) "ids nonempty" true (Olayout_harness.Report.experiment_ids <> []);
   Alcotest.(check bool) "unknown id rejected" true
@@ -193,5 +219,6 @@ let suite =
       Alcotest.test_case "footprint calibration" `Slow test_footprint_calibration;
       Alcotest.test_case "prefetch experiment" `Slow test_prefetch_experiment;
       Alcotest.test_case "joint experiment" `Slow test_joint_experiment;
+      Alcotest.test_case "trace replay in context" `Slow test_trace_replay_in_context;
       Alcotest.test_case "report selection" `Slow test_report_selection;
     ] )

@@ -56,6 +56,20 @@ let test_cache_non_pow2_size () =
   Cache.access c ~kind:0 0;
   Alcotest.(check int) "works" 1 (Cache.misses c)
 
+let test_cache_bad_configs () =
+  (* line_bytes = 0 used to pass the power-of-two check (0 land -1 = 0) and
+     then divide by zero computing the set count. *)
+  List.iter
+    (fun (size_bytes, line_bytes, assoc) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/%d/%d rejected" size_bytes line_bytes assoc)
+        true
+        (try
+           ignore (Cache.create ~name:"bad" ~size_bytes ~line_bytes ~assoc ());
+           false
+         with Invalid_argument _ -> true))
+    [ (1024, 0, 1); (0, 64, 1); (1024, -64, 1); (1024, 48, 1); (1024, 64, 0) ]
+
 let test_cache_on_miss () =
   let fired = ref 0 in
   let c =
@@ -112,6 +126,7 @@ let suite =
       Alcotest.test_case "itlb LRU eviction" `Quick test_itlb_lru_eviction;
       Alcotest.test_case "cache kinds" `Quick test_cache_kinds;
       Alcotest.test_case "cache non-pow2 size" `Quick test_cache_non_pow2_size;
+      Alcotest.test_case "cache bad configs" `Quick test_cache_bad_configs;
       Alcotest.test_case "cache on_miss" `Quick test_cache_on_miss;
       Alcotest.test_case "hierarchy wiring" `Quick test_hierarchy_wiring;
       Alcotest.test_case "phys translate" `Quick test_phys_translate;

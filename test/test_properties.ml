@@ -197,6 +197,48 @@ let qcheck_cache_identities =
       && Icache.unique_lines c <= Icache.lines_filled c
       && Icache.misses_of c Run.App = Icache.misses c)
 
+(* --- 6b. trace replay is observationally identical to live simulation --- *)
+
+module Trace = Olayout_exec.Trace
+
+let cache_fingerprint c =
+  ( Icache.accesses c,
+    Icache.misses c,
+    Icache.cold_misses c,
+    Icache.misses_of c Run.App,
+    Icache.misses_of c Run.Kernel,
+    Icache.displaced c ~miss:Run.App ~victim:Run.App,
+    Icache.displaced c ~miss:Run.App ~victim:Run.Kernel,
+    Icache.displaced c ~miss:Run.Kernel ~victim:Run.App,
+    Icache.displaced c ~miss:Run.Kernel ~victim:Run.Kernel )
+
+let qcheck_trace_replay_equivalence =
+  QCheck.Test.make ~name:"trace replay = live sinking (every combo)" ~count:8
+    QCheck.small_int (fun seed ->
+      let prog, profile = prepared seed in
+      List.for_all
+        (fun combo ->
+          let placement = Spike.optimize profile combo in
+          let live = Icache.create (Icache.config ~size_kb:2 ~line:64 ~assoc:2 ()) in
+          let record, trace = Trace.record () in
+          let m =
+            Render.merger ~emit:(fun r ->
+                Icache.access_run live r;
+                record r)
+          in
+          let walk = Walk.create ~prog ~rng:(Rng.create (seed + 5)) in
+          Walk.add_sink walk (Render.sink (Render.create ~placement ~owner:Run.App m));
+          for _ = 1 to 5 do
+            for p = 0 to Prog.n_procs prog - 1 do
+              Walk.call walk p
+            done
+          done;
+          Render.flush m;
+          let fresh = Icache.create (Icache.config ~size_kb:2 ~line:64 ~assoc:2 ()) in
+          Trace.replay trace (Icache.access_run fresh);
+          cache_fingerprint fresh = cache_fingerprint live)
+        Spike.all_combos)
+
 (* --- 7. body instructions are conserved by every layout --- *)
 
 let qcheck_body_conserved =
@@ -228,5 +270,6 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_spike_deterministic;
       QCheck_alcotest.to_alcotest qcheck_recovery_restores_committed;
       QCheck_alcotest.to_alcotest qcheck_cache_identities;
+      QCheck_alcotest.to_alcotest qcheck_trace_replay_equivalence;
       QCheck_alcotest.to_alcotest qcheck_body_conserved;
     ] )
