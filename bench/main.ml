@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- --quick      # reduced transaction counts
      dune exec bench/main.exe -- --only fig4,fig15
      dune exec bench/main.exe -- --no-micro   # skip pass microbenchmarks
-     dune exec bench/main.exe -- --trace-stats  # per-figure replay/live attribution *)
+     dune exec bench/main.exe -- --trace-stats  # per-figure replay/live attribution
+     dune exec bench/main.exe -- --bench-json   # write BENCH_<scale>.json summary
+     dune exec bench/main.exe -- --telemetry-out FILE  # JSONL span/counter events
+     dune exec bench/main.exe -- --telemetry-summary   # span/counter console dump *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -16,10 +19,28 @@ module Placement = Olayout_core.Placement
 module Chaining = Olayout_core.Chaining
 module Splitting = Olayout_core.Splitting
 module Pettis_hansen = Olayout_core.Pettis_hansen
+module Telemetry = Olayout_telemetry.Telemetry
+module Bench_artifact = Olayout_telemetry.Bench_artifact
+
+type options = {
+  quick : bool;
+  only : string list option;
+  micro : bool;
+  trace_stats : bool;
+  telemetry_out : string option;
+  bench_json : bool;
+  telemetry_summary : bool;
+}
 
 let parse_args () =
   let quick = ref false and only = ref None and micro = ref true in
   let trace_stats = ref false in
+  let telemetry_out = ref None in
+  let bench_json = ref false and telemetry_summary = ref false in
+  let missing opt =
+    Printf.eprintf "option %s requires an argument\n" opt;
+    exit 2
+  in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -31,15 +52,33 @@ let parse_args () =
     | "--trace-stats" :: rest ->
         trace_stats := true;
         go rest
+    | "--bench-json" :: rest ->
+        bench_json := true;
+        go rest
+    | "--telemetry-summary" :: rest ->
+        telemetry_summary := true;
+        go rest
+    | [ ("--only" | "--telemetry-out") as opt ] -> missing opt
     | "--only" :: ids :: rest ->
         only := Some (String.split_on_char ',' ids);
+        go rest
+    | "--telemetry-out" :: path :: rest ->
+        telemetry_out := Some path;
         go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !only, !micro, !trace_stats)
+  {
+    quick = !quick;
+    only = !only;
+    micro = !micro;
+    trace_stats = !trace_stats;
+    telemetry_out = !telemetry_out;
+    bench_json = !bench_json;
+    telemetry_summary = !telemetry_summary;
+  }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
 
@@ -138,17 +177,56 @@ let microbench ctx =
     results
 
 let () =
-  let quick, only, micro, trace_stats = parse_args () in
-  let t0 = Unix.gettimeofday () in
-  let scale = if quick then Context.Quick else Context.Full in
+  let opts = parse_args () in
+  Option.iter Telemetry.open_jsonl_file opts.telemetry_out;
+  let scale = if opts.quick then Context.Quick else Context.Full in
+  let scale_name = if opts.quick then "quick" else "full" in
   Format.printf
     "olayout bench: reproducing Ramirez et al., ISCA 2001 (%s scale)@."
-    (if quick then "quick" else "full");
-  let ctx = Context.create ~scale () in
-  Format.printf "workload built and profiled in %.1fs@." (Unix.gettimeofday () -. t0);
-  let selection =
-    match only with None -> Report.All | Some ids -> Report.Only ids
+    scale_name;
+  let (ctx, figures), total_seconds =
+    Telemetry.timed "bench.total" (fun () ->
+        let ctx, setup_seconds =
+          Telemetry.timed "bench.setup" (fun () -> Context.create ~scale ())
+        in
+        Format.printf "workload built and profiled in %.1fs@." setup_seconds;
+        let selection =
+          match opts.only with None -> Report.All | Some ids -> Report.Only ids
+        in
+        let figures =
+          try
+            Report.run ~selection ~trace_stats:opts.trace_stats ctx
+              Format.std_formatter
+          with Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2
+        in
+        if opts.micro then Telemetry.span "bench.micro" (fun () -> microbench ctx);
+        (ctx, figures))
   in
-  Report.run ~selection ~trace_stats ctx Format.std_formatter;
-  if micro then microbench ctx;
-  Format.printf "@.bench total: %.1fs@." (Unix.gettimeofday () -. t0)
+  Format.printf "@.bench total: %.1fs@." total_seconds;
+  if opts.bench_json then begin
+    let stats = Context.trace_stats ctx in
+    let figures =
+      List.map
+        (fun (f : Report.figure_stat) ->
+          {
+            Bench_artifact.id = f.fig_id;
+            desc = f.fig_desc;
+            seconds = f.fig_seconds;
+            runs_live = f.fig_live_runs;
+            runs_replayed = f.fig_replayed_runs;
+            instrs_live = f.fig_live_instrs;
+            instrs_replayed = f.fig_replayed_instrs;
+            live_executions = f.fig_live_executions;
+            traces_replayed = f.fig_replayed_traces;
+          })
+        figures
+    in
+    let path = Bench_artifact.default_path ~scale:scale_name in
+    Bench_artifact.write ~path ~scale:scale_name ~total_seconds
+      ~trace_cache_bytes:stats.Context.trace_bytes ~figures;
+    Format.printf "bench artifact written to %s@." path
+  end;
+  if opts.telemetry_summary then Telemetry.pp_summary Format.std_formatter ();
+  Telemetry.close_jsonl ()

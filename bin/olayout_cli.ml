@@ -9,6 +9,7 @@
 open Cmdliner
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
+module Telemetry = Olayout_telemetry.Telemetry
 module Table = Olayout_harness.Table
 module Spike = Olayout_core.Spike
 module Placement = Olayout_core.Placement
@@ -315,12 +316,22 @@ let trace_cmd =
 
 (* --- report --- *)
 
-let report seed quick only trace_stats =
+let report seed quick only trace_stats telemetry telemetry_out =
+  Option.iter Telemetry.open_jsonl_file telemetry_out;
   let scale = if quick then Context.Quick else Context.Full in
   let ctx = Context.create ~scale ~seed () in
   let selection = match only with [] -> Report.All | ids -> Report.Only ids in
-  Report.run ~selection ~trace_stats ctx Format.std_formatter;
-  0
+  let code =
+    match Report.run ~selection ~trace_stats ctx Format.std_formatter with
+    | (_ : Report.figure_stat list) -> 0
+    | exception Invalid_argument msg ->
+        (* The message already lists the valid experiment ids. *)
+        Printf.eprintf "olayout: %s\n" msg;
+        1
+  in
+  if telemetry then Telemetry.pp_summary Format.std_formatter ();
+  Telemetry.close_jsonl ();
+  code
 
 let report_cmd =
   let only_arg =
@@ -340,9 +351,29 @@ let report_cmd =
              instructions replayed vs simulated live, replay throughput) and \
              a trace-cache summary.")
   in
+  let telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "After the report, print the telemetry summary: span aggregates \
+             (count, total and max wall seconds per span path) and the \
+             counter/gauge/histogram registry.")
+  in
+  let telemetry_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream telemetry as JSONL to $(docv): one JSON object per span \
+             completion, then a final registry dump.")
+  in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's figures.")
-    Term.(const report $ seed_arg $ quick_arg $ only_arg $ trace_stats_arg)
+    Term.(
+      const report $ seed_arg $ quick_arg $ only_arg $ trace_stats_arg
+      $ telemetry_arg $ telemetry_out_arg)
 
 let () =
   let doc = "code layout optimizations for transaction processing workloads" in

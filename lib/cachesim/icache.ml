@@ -1,5 +1,11 @@
 module Run = Olayout_exec.Run
 module Histogram = Olayout_metrics.Histogram
+module Telemetry = Olayout_telemetry.Telemetry
+
+(* Aggregated over every icache instance in the process (figure sweeps run
+   dozens); per-instance numbers stay in [t]. *)
+let c_accesses = Telemetry.counter "cachesim.icache_accesses"
+let c_misses = Telemetry.counter "cachesim.icache_misses"
 
 type config = { name : string; size_bytes : int; line_bytes : int; assoc : int }
 
@@ -170,6 +176,7 @@ let resident t line_addr =
 (* Touch one line; [w0..w1] are the word indices used within it. *)
 let touch t owner line_addr w0 w1 =
   t.clock <- t.clock + 1;
+  Telemetry.incr c_accesses;
   let set = line_addr land t.set_mask in
   let base = set * t.cfg.assoc in
   let way = ref (-1) in
@@ -198,6 +205,7 @@ let touch t owner line_addr w0 w1 =
   end
   else begin
     t.misses <- t.misses + 1;
+    Telemetry.incr c_misses;
     (match owner with
     | Run.App -> t.miss_app <- t.miss_app + 1
     | Run.Kernel -> t.miss_kernel <- t.miss_kernel + 1);

@@ -1,5 +1,9 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
+module Telemetry = Olayout_telemetry.Telemetry
+
+let c_chains = Telemetry.counter "core.chains_formed"
+let c_edges_linked = Telemetry.counter "core.chain_edges_linked"
 
 (* Atoms: maximal runs of blocks glued by Call terminators.  [atom_of.(b)] is
    the atom index of block b; [atoms.(a)] is the block list of atom a.  Atom
@@ -68,7 +72,8 @@ let chain_proc profile pid =
       if succ.(s) = -1 && pred.(d) = -1 && find parent s <> find parent d then begin
         succ.(s) <- d;
         pred.(d) <- s;
-        parent.(find parent s) <- find parent d
+        parent.(find parent s) <- find parent d;
+        Telemetry.incr c_edges_linked
       end)
     edges;
   (* Collect chains from atom heads. *)
@@ -80,6 +85,7 @@ let chain_proc profile pid =
     end
   done;
   let chains = List.rev !chains in
+  Telemetry.add c_chains (List.length chains);
   let first_block chain = List.hd atoms.(List.hd chain) in
   let count chain = Profile.block_count profile ~proc:pid ~block:(first_block chain) in
   let entry_atom = atom_of.(p.entry) in

@@ -1,5 +1,8 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
+module Telemetry = Olayout_telemetry.Telemetry
+
+let c_edges_merged = Telemetry.counter "core.ph_edges_merged"
 
 (* --- small array-based max-heap of (weight, a, b), lazily deleted --- *)
 module Heap = struct
@@ -157,6 +160,7 @@ let order_weighted ~weights ~heat segments =
               (List.tl candidates)
           in
           let merged = snd best in
+          Telemetry.incr c_edges_merged;
           (* rb joins ra. *)
           parent.(rb) <- ra;
           seq.(ra) <- merged;

@@ -1,5 +1,8 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
+module Telemetry = Olayout_telemetry.Telemetry
+
+let c_optimize = Telemetry.counter "spike.optimize_calls"
 
 type combo = Base | Porder | Chain | Chain_split | Chain_porder | All
 
@@ -16,28 +19,53 @@ let combo_name = function
 let proc_segments prog =
   Array.to_list (Array.map Segment.of_proc prog.Prog.procs)
 
+(* Each pass of the pipeline runs inside a telemetry span, so per-figure and
+   whole-run pass timings fall out of the span aggregates (the bench
+   artifact's "passes" section). *)
+let chaining_span f = Telemetry.span "chaining" f
+let splitting_span f = Telemetry.span "splitting" f
+let porder_span f = Telemetry.span "pettis_hansen" f
+let placement_span f = Telemetry.span "placement" f
+
 let segments_for profile = function
   | Base -> proc_segments (Profile.prog profile)
-  | Porder -> Pettis_hansen.order profile (proc_segments (Profile.prog profile))
-  | Chain -> Chaining.segments_one_per_proc profile
-  | Chain_split -> Splitting.fine_grain profile
+  | Porder ->
+      porder_span (fun () ->
+          Pettis_hansen.order profile (proc_segments (Profile.prog profile)))
+  | Chain -> chaining_span (fun () -> Chaining.segments_one_per_proc profile)
+  | Chain_split -> splitting_span (fun () -> Splitting.fine_grain profile)
   | Chain_porder ->
-      Pettis_hansen.order profile (Chaining.segments_one_per_proc profile)
-  | All -> Pettis_hansen.order profile (Splitting.fine_grain profile)
+      let chained = chaining_span (fun () -> Chaining.segments_one_per_proc profile) in
+      porder_span (fun () -> Pettis_hansen.order profile chained)
+  | All ->
+      let split = splitting_span (fun () -> Splitting.fine_grain profile) in
+      porder_span (fun () -> Pettis_hansen.order profile split)
 
 let optimize ?align profile combo =
-  let align =
-    match (align, combo) with
-    | Some a, _ -> a
-    | None, Base -> 16
-    | None, (Porder | Chain | Chain_split | Chain_porder | All) -> 4
-  in
-  Placement.of_segments ~align (Profile.prog profile) (segments_for profile combo)
+  Telemetry.incr c_optimize;
+  Telemetry.span "optimize" (fun () ->
+      let align =
+        match (align, combo) with
+        | Some a, _ -> a
+        | None, Base -> 16
+        | None, (Porder | Chain | Chain_split | Chain_porder | All) -> 4
+      in
+      let segments = segments_for profile combo in
+      placement_span (fun () ->
+          Placement.of_segments ~align (Profile.prog profile) segments))
 
 let hot_cold_all ?threshold profile =
-  let segments = Pettis_hansen.order profile (Splitting.hot_cold ?threshold profile) in
-  Placement.of_segments ~align:4 (Profile.prog profile) segments
+  Telemetry.span "optimize" (fun () ->
+      let split =
+        Telemetry.span "hot_cold" (fun () -> Splitting.hot_cold ?threshold profile)
+      in
+      let segments = porder_span (fun () -> Pettis_hansen.order profile split) in
+      placement_span (fun () ->
+          Placement.of_segments ~align:4 (Profile.prog profile) segments))
 
 let cfa_all profile ~cache_bytes ~cfa_fraction =
-  let segments = Pettis_hansen.order profile (Splitting.fine_grain profile) in
-  Cfa.place profile ~segments ~cache_bytes ~cfa_fraction
+  Telemetry.span "optimize" (fun () ->
+      let split = splitting_span (fun () -> Splitting.fine_grain profile) in
+      let segments = porder_span (fun () -> Pettis_hansen.order profile split) in
+      Telemetry.span "cfa" (fun () ->
+          Cfa.place profile ~segments ~cache_bytes ~cfa_fraction))

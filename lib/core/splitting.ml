@@ -1,9 +1,13 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
+module Telemetry = Olayout_telemetry.Telemetry
+
+let c_segments = Telemetry.counter "core.split_segments_cut"
 
 let fine_grain_of_chains _prog proc_chains =
   List.concat_map
     (fun (pid, chains) ->
+      Telemetry.add c_segments (List.length chains);
       List.map (fun blocks -> { Segment.proc = pid; blocks }) chains)
     proc_chains
 
@@ -44,8 +48,12 @@ let hot_cold ?(threshold = 0) profile =
       let hot = List.filter (fun b -> hot_block.(b)) chained in
       let cold = List.filter (fun b -> not hot_block.(b)) chained in
       let mk blocks = { Segment.proc = pid; blocks } in
-      match (hot, cold) with
-      | [], cold -> [ mk cold ]
-      | hot, [] -> [ mk hot ]
-      | hot, cold -> [ mk hot; mk cold ])
+      let segs =
+        match (hot, cold) with
+        | [], cold -> [ mk cold ]
+        | hot, [] -> [ mk hot ]
+        | hot, cold -> [ mk hot; mk cold ]
+      in
+      Telemetry.add c_segments (List.length segs);
+      segs)
     (List.init (Prog.n_procs prog) (fun i -> i))

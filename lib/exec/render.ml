@@ -1,4 +1,9 @@
 module Placement = Olayout_core.Placement
+module Telemetry = Olayout_telemetry.Telemetry
+
+let c_runs = Telemetry.counter "exec.runs_rendered"
+let c_instrs = Telemetry.counter "exec.instrs_rendered"
+let h_run_len = Telemetry.histogram "exec.run_len"
 
 type merger = {
   emit : Run.t -> unit;
@@ -10,8 +15,12 @@ type merger = {
 let merger ~emit = { emit; owner = Run.App; addr = -1; len = 0 }
 
 let flush m =
-  if m.addr >= 0 && m.len > 0 then
-    m.emit { Run.owner = m.owner; addr = m.addr; len = m.len };
+  if m.addr >= 0 && m.len > 0 then begin
+    Telemetry.incr c_runs;
+    Telemetry.add c_instrs m.len;
+    Telemetry.observe h_run_len m.len;
+    m.emit { Run.owner = m.owner; addr = m.addr; len = m.len }
+  end;
   m.addr <- -1;
   m.len <- 0
 

@@ -1,5 +1,13 @@
 open Olayout_ir
 module Rng = Olayout_util.Rng
+module Telemetry = Olayout_telemetry.Telemetry
+
+(* Updated once per [call] episode (by delta), not per block: the per-block
+   loop stays telemetry-free. *)
+let c_calls = Telemetry.counter "exec.walk_calls"
+let c_blocks = Telemetry.counter "exec.walk_blocks"
+let c_instrs = Telemetry.counter "exec.walk_instrs"
+let c_dispatches = Telemetry.counter "exec.sink_dispatches"
 
 type sink = proc:int -> block:int -> arm:int -> unit
 
@@ -98,7 +106,13 @@ let call t ?(hints = []) pid =
           current := None
     done
   in
-  walk_proc pid 0 hint_tbl
+  let blocks0 = t.blocks and instrs0 = t.instrs in
+  walk_proc pid 0 hint_tbl;
+  Telemetry.incr c_calls;
+  let d_blocks = t.blocks - blocks0 in
+  Telemetry.add c_blocks d_blocks;
+  Telemetry.add c_instrs (t.instrs - instrs0);
+  Telemetry.add c_dispatches (d_blocks * Array.length sinks)
 
 let instrs_executed t = t.instrs
 let blocks_executed t = t.blocks

@@ -5,6 +5,7 @@ module Run = Olayout_exec.Run
 module Trace = Olayout_exec.Trace
 module Workload = Olayout_oltp.Workload
 module Server = Olayout_oltp.Server
+module Telemetry = Olayout_telemetry.Telemetry
 
 type scale = Quick | Full
 
@@ -27,16 +28,19 @@ type trace_stats = {
   trace_bytes : int;
 }
 
-type stats_mut = {
-  mutable s_live_executions : int;
-  mutable s_live_runs : int;
-  mutable s_live_instrs : int;
-  mutable s_recorded : int;
-  mutable s_replayed : int;
-  mutable s_replayed_runs : int;
-  mutable s_replayed_instrs : int;
-  mutable s_replay_seconds : float;
-}
+(* Capture/replay accounting lives in the process-global telemetry registry
+   (so the bench artifact and the JSONL sink see it for free);
+   [trace_stats] below snapshots the same counters into the historical
+   record shape. *)
+let c_live_executions = Telemetry.counter "context.live_executions"
+let c_live_runs = Telemetry.counter "context.live_runs"
+let c_live_instrs = Telemetry.counter "context.live_instrs"
+let c_recorded = Telemetry.counter "context.traces_recorded"
+let c_replayed = Telemetry.counter "context.traces_replayed"
+let c_replayed_runs = Telemetry.counter "context.replayed_runs"
+let c_replayed_instrs = Telemetry.counter "context.replayed_instrs"
+let g_replay_seconds = Telemetry.gauge "context.replay_seconds"
+let g_trace_bytes = Telemetry.gauge "context.trace_cache_bytes"
 
 type t = {
   scale : scale;
@@ -49,7 +53,6 @@ type t = {
   mutable kernel_optimized : Placement.t option;
   mutable traces : (trace_key * Trace.t) list;
   mutable results : ((int * int) * Server.result) list;
-  stats : stats_mut;
 }
 
 let train_txns = function Quick -> 150 | Full -> 2000
@@ -60,33 +63,24 @@ let measured_txns_of = function Quick -> 100 | Full -> 1000
 let max_trace_cache_bytes = 1 lsl 30
 
 let create ?(scale = Full) ?(seed = 7) () =
-  let workload = Workload.create ~seed () in
-  let app_profile, kernel_profile =
-    Workload.train workload ~txns:(train_txns scale) ~seed:1 ()
-  in
-  {
-    scale;
-    seed;
-    workload;
-    app_profile;
-    kernel_profile;
-    placements = [];
-    kernel_base = Workload.base_kernel workload;
-    kernel_optimized = None;
-    traces = [];
-    results = [];
-    stats =
+  Telemetry.span "context.create" (fun () ->
+      let workload = Workload.create ~seed () in
+      let app_profile, kernel_profile =
+        Telemetry.span "context.train" (fun () ->
+            Workload.train workload ~txns:(train_txns scale) ~seed:1 ())
+      in
       {
-        s_live_executions = 0;
-        s_live_runs = 0;
-        s_live_instrs = 0;
-        s_recorded = 0;
-        s_replayed = 0;
-        s_replayed_runs = 0;
-        s_replayed_instrs = 0;
-        s_replay_seconds = 0.0;
-      };
-  }
+        scale;
+        seed;
+        workload;
+        app_profile;
+        kernel_profile;
+        placements = [];
+        kernel_base = Workload.base_kernel workload;
+        kernel_optimized = None;
+        traces = [];
+        results = [];
+      })
 
 let scale t = t.scale
 let workload t = t.workload
@@ -119,16 +113,15 @@ let trace_cache_bytes t =
   List.fold_left (fun acc (_, tr) -> acc + Trace.memory_bytes tr) 0 t.traces
 
 let trace_stats t =
-  let s = t.stats in
   {
-    live_executions = s.s_live_executions;
-    live_runs = s.s_live_runs;
-    live_instrs = s.s_live_instrs;
-    recorded_traces = s.s_recorded;
-    replayed_traces = s.s_replayed;
-    replayed_runs = s.s_replayed_runs;
-    replayed_instrs = s.s_replayed_instrs;
-    replay_seconds = s.s_replay_seconds;
+    live_executions = Telemetry.value c_live_executions;
+    live_runs = Telemetry.value c_live_runs;
+    live_instrs = Telemetry.value c_live_instrs;
+    recorded_traces = Telemetry.value c_recorded;
+    replayed_traces = Telemetry.value c_replayed;
+    replayed_runs = Telemetry.value c_replayed_runs;
+    replayed_instrs = Telemetry.value c_replayed_instrs;
+    replay_seconds = Telemetry.gauge_value g_replay_seconds;
     trace_bytes = trace_cache_bytes t;
   }
 
@@ -151,20 +144,21 @@ let combo_of_placement t p =
   in
   go t.placements
 
-let replay_into t items =
+let replay_into items =
   match items with
   | [] -> ()
   | _ ->
-      let t0 = Unix.gettimeofday () in
-      List.iter
-        (fun (trace, emit) ->
-          Trace.replay trace emit;
-          t.stats.s_replayed <- t.stats.s_replayed + 1;
-          t.stats.s_replayed_runs <- t.stats.s_replayed_runs + Trace.length trace;
-          t.stats.s_replayed_instrs <- t.stats.s_replayed_instrs + Trace.instrs trace)
-        items;
-      t.stats.s_replay_seconds <-
-        t.stats.s_replay_seconds +. (Unix.gettimeofday () -. t0)
+      let (), seconds =
+        Telemetry.timed "context.replay" (fun () ->
+            List.iter
+              (fun (trace, emit) ->
+                Trace.replay trace emit;
+                Telemetry.incr c_replayed;
+                Telemetry.add c_replayed_runs (Trace.length trace);
+                Telemetry.add c_replayed_instrs (Trace.instrs trace))
+              items)
+      in
+      Telemetry.add_gauge g_replay_seconds seconds
 
 let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~renders () =
   let txns = match txns with Some n -> n | None -> measured_txns t in
@@ -219,12 +213,12 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
   match (live, needs_walk, cached_result) with
   | [], false, Some result ->
       (* Every requested stream is cached: pure replay, no server walk. *)
-      replay_into t replays;
+      replay_into replays;
       result
   | _ ->
       let count_live emit (run : Run.t) =
-        t.stats.s_live_runs <- t.stats.s_live_runs + 1;
-        t.stats.s_live_instrs <- t.stats.s_live_instrs + run.Run.len;
+        Telemetry.incr c_live_runs;
+        Telemetry.add c_live_instrs run.Run.len;
         emit run
       in
       let recorded = ref [] in
@@ -248,21 +242,23 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
           live
       in
       let result =
-        Server.run ~app:(Workload.app t.workload)
-          ~kernel:(Workload.kernel t.workload) ~txns ~seed:1009
-          ~renders:render_specs ?on_data ?app_sinks ?on_switch ()
+        Telemetry.span "context.live_execution" (fun () ->
+            Server.run ~app:(Workload.app t.workload)
+              ~kernel:(Workload.kernel t.workload) ~txns ~seed:1009
+              ~renders:render_specs ?on_data ?app_sinks ?on_switch ())
       in
-      t.stats.s_live_executions <- t.stats.s_live_executions + 1;
+      Telemetry.incr c_live_executions;
       List.iter
         (fun (key, trace) ->
           t.traces <- (key, trace) :: t.traces;
-          t.stats.s_recorded <- t.stats.s_recorded + 1)
+          Telemetry.incr c_recorded)
         !recorded;
+      Telemetry.set_gauge g_trace_bytes (float_of_int (trace_cache_bytes t));
       (match kid with
       | Some k when not (List.mem_assoc (k, txns) t.results) ->
           t.results <- ((k, txns), result) :: t.results
       | _ -> ());
-      replay_into t replays;
+      replay_into replays;
       result
 
 let measure t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~renders () =

@@ -61,7 +61,10 @@ type trace_stats = {
 
 val trace_stats : t -> trace_stats
 (** Cumulative capture/replay counters (snapshot them around a figure to
-    attribute work; see {!Report.run}'s [trace_stats] flag). *)
+    attribute work; see {!Report.run}'s [trace_stats] flag).  The counters
+    are sourced from the process-global telemetry registry (the [context.*]
+    counters), so with several live contexts the numbers aggregate across
+    them; [trace_bytes] is always this context's own cache. *)
 
 val measure :
   t ->

@@ -1,3 +1,5 @@
+module Telemetry = Olayout_telemetry.Telemetry
+
 type selection = All | Only of string list
 
 let experiments :
@@ -31,6 +33,18 @@ let experiments :
   ]
 
 let experiment_ids = List.map (fun (id, _, _) -> id) experiments
+
+type figure_stat = {
+  fig_id : string;
+  fig_desc : string;
+  fig_seconds : float;
+  fig_live_runs : int;
+  fig_replayed_runs : int;
+  fig_live_instrs : int;
+  fig_replayed_instrs : int;
+  fig_live_executions : int;
+  fig_replayed_traces : int;
+}
 
 let mruns_per_s runs seconds =
   if seconds <= 0.0 then "-"
@@ -84,22 +98,44 @@ let run ?(selection = All) ?(trace_stats = false) ctx ppf =
     match selection with
     | All -> experiments
     | Only ids ->
-        List.iter
-          (fun id ->
-            if not (List.mem_assoc id (List.map (fun (i, d, f) -> (i, (d, f))) experiments))
-            then invalid_arg (Printf.sprintf "Report.run: unknown experiment %S" id))
-          ids;
+        (* Validate against a lookup list built once, not per requested id. *)
+        let known = experiment_ids in
+        let unknown = List.filter (fun id -> not (List.mem id known)) ids in
+        if unknown <> [] then
+          invalid_arg
+            (Printf.sprintf "unknown experiment%s %s (valid ids: %s)"
+               (if List.length unknown > 1 then "s" else "")
+               (String.concat ", " unknown)
+               (String.concat ", " known));
         List.filter (fun (id, _, _) -> List.mem id ids) experiments
   in
-  List.iter
-    (fun (id, desc, exp) ->
-      let t0 = Unix.gettimeofday () in
-      let s0 = Context.trace_stats ctx in
-      Format.fprintf ppf "@.### %s — %s@." id desc;
-      let tables = exp ctx in
-      List.iter (fun tbl -> Table.print ppf tbl) tables;
-      Format.fprintf ppf "  (%s took %.1fs)@." id (Unix.gettimeofday () -. t0);
-      if trace_stats then
-        print_figure_trace_stats ppf id s0 (Context.trace_stats ctx))
-    selected;
-  if trace_stats then Table.print ppf (trace_summary_table (Context.trace_stats ctx))
+  let figures =
+    List.map
+      (fun (id, desc, exp) ->
+        let s0 = Context.trace_stats ctx in
+        Format.fprintf ppf "@.### %s — %s@." id desc;
+        (* The span is the single timing code path: its duration feeds the
+           console line here, the span registry, and the bench artifact. *)
+        let tables, seconds = Telemetry.timed ("report." ^ id) (fun () -> exp ctx) in
+        List.iter (fun tbl -> Table.print ppf tbl) tables;
+        Format.fprintf ppf "  (%s took %.1fs)@." id seconds;
+        let s1 = Context.trace_stats ctx in
+        if trace_stats then print_figure_trace_stats ppf id s0 s1;
+        {
+          fig_id = id;
+          fig_desc = desc;
+          fig_seconds = seconds;
+          fig_live_runs = s1.Context.live_runs - s0.Context.live_runs;
+          fig_replayed_runs = s1.Context.replayed_runs - s0.Context.replayed_runs;
+          fig_live_instrs = s1.Context.live_instrs - s0.Context.live_instrs;
+          fig_replayed_instrs =
+            s1.Context.replayed_instrs - s0.Context.replayed_instrs;
+          fig_live_executions =
+            s1.Context.live_executions - s0.Context.live_executions;
+          fig_replayed_traces =
+            s1.Context.replayed_traces - s0.Context.replayed_traces;
+        })
+      selected
+  in
+  if trace_stats then Table.print ppf (trace_summary_table (Context.trace_stats ctx));
+  figures

@@ -11,11 +11,34 @@ type selection =
 
 val experiment_ids : string list
 
+type figure_stat = {
+  fig_id : string;
+  fig_desc : string;
+  fig_seconds : float;  (** wall-clock, measured by the figure's span *)
+  fig_live_runs : int;
+  fig_replayed_runs : int;
+  fig_live_instrs : int;
+  fig_replayed_instrs : int;
+  fig_live_executions : int;
+  fig_replayed_traces : int;
+}
+(** Per-figure telemetry deltas (the counters around the figure's span);
+    the raw material of the [BENCH_<scale>.json] artifact. *)
+
 val run :
-  ?selection:selection -> ?trace_stats:bool -> Context.t -> Format.formatter -> unit
+  ?selection:selection ->
+  ?trace_stats:bool ->
+  Context.t ->
+  Format.formatter ->
+  figure_stat list
 (** Executes the selected experiments in order, printing each experiment's
-    tables as it completes (with wall-clock timings).  With [trace_stats]
+    tables as it completes (with wall-clock timings), and returns one
+    {!figure_stat} per executed experiment.  Each figure runs inside a
+    telemetry span named [report.<id>], so span aggregates (and the JSONL
+    sink, when attached) carry the same timings.  With [trace_stats]
     (default false), also prints one line per figure attributing its
     instruction streams to trace replay vs live simulation — runs/instrs
     replayed, replay throughput in Mruns/s — and a final trace-cache
-    summary table. *)
+    summary table.
+    @raise Invalid_argument on unknown experiment ids (the message lists
+    the valid ids). *)

@@ -1,3 +1,8 @@
+module Telemetry = Olayout_telemetry.Telemetry
+
+let c_accesses = Telemetry.counter "memsim.cache_accesses"
+let c_misses = Telemetry.counter "memsim.cache_misses"
+
 type t = {
   name : string;
   assoc : int;
@@ -46,6 +51,7 @@ let create ?on_miss ~name ~size_bytes ~line_bytes ~assoc () =
 
 let access t ~kind addr =
   t.clock <- t.clock + 1;
+  Telemetry.incr c_accesses;
   t.acc_kind.(kind) <- t.acc_kind.(kind) + 1;
   let line = addr lsr t.line_shift in
   let set = line land t.set_mask in
@@ -57,6 +63,7 @@ let access t ~kind addr =
   if !way >= 0 then t.last_use.(base + !way) <- t.clock
   else begin
     t.misses <- t.misses + 1;
+    Telemetry.incr c_misses;
     t.miss_kind.(kind) <- t.miss_kind.(kind) + 1;
     (match t.on_miss with Some f -> f addr | None -> ());
     let victim = ref 0 in

@@ -1,4 +1,8 @@
 module Run = Olayout_exec.Run
+module Telemetry = Olayout_telemetry.Telemetry
+
+let c_accesses = Telemetry.counter "memsim.itlb_accesses"
+let c_misses = Telemetry.counter "memsim.itlb_misses"
 
 type t = {
   page_shift : int;
@@ -34,6 +38,7 @@ let create ?(page_bytes = 8192) ~entries () =
 
 let touch t page =
   t.clock <- t.clock + 1;
+  Telemetry.incr c_accesses;
   if page = t.last_page then t.last_use.(t.last_entry) <- t.clock
   else begin
     let hit = ref (-1) in
@@ -47,6 +52,7 @@ let touch t page =
       end
       else begin
         t.misses <- t.misses + 1;
+        Telemetry.incr c_misses;
         if not (Hashtbl.mem t.seen page) then Hashtbl.add t.seen page ();
         let victim = ref 0 in
         for i = 1 to t.entries - 1 do

@@ -1,0 +1,70 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_escaped buf s;
+  Buffer.contents buf
+
+(* Floats must stay parseable: non-finite values have no JSON encoding and
+   become null. *)
+let add_float buf f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> Buffer.add_string buf "null"
+  | _ -> Buffer.add_string buf (Printf.sprintf "%.12g" f)
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | Array items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Object fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  add buf j;
+  Buffer.contents buf
+
+let output oc j = Stdlib.output_string oc (to_string j)

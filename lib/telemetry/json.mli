@@ -1,0 +1,22 @@
+(** Minimal JSON writer for the telemetry sinks (JSONL event stream and the
+    bench summary artifact).  Writing only — the repository has no JSON
+    dependency, and the sinks never need to read JSON back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats are emitted as [null] *)
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val escape_string : string -> string
+(** [escape_string s] is [s] as a quoted JSON string literal, escaping
+    quotes, backslashes and control characters. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering — one value per line is what makes the
+    JSONL sink greppable. *)
+
+val output : out_channel -> t -> unit

@@ -1,0 +1,289 @@
+(* Process-wide instrumentation: hierarchical spans, a registry of
+   counters/gauges/histograms, and pluggable sinks (JSONL event stream,
+   console summary; the bench summary artifact lives in Bench_artifact).
+
+   Design constraints (see telemetry.mli):
+   - counters are plain mutable ints behind handles resolved once at module
+     init, so hot paths (per fetch run, per cache access) pay one memory
+     increment and nothing else;
+   - spans are coarse (per figure, per optimizer pass, per replay batch) and
+     have a disabled path that is a direct tail call to the thunk. *)
+
+let t0 = Unix.gettimeofday ()
+let now_rel () = Unix.gettimeofday () -. t0
+
+let enabled_flag = ref true
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* --- registry -------------------------------------------------------- *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+(* Buckets are powers of two: bucket 0 holds values <= 0, bucket i >= 1
+   holds values in [2^(i-1), 2^i). *)
+type histogram = { h_name : string; h_buckets : int array }
+
+let max_buckets = 63
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add counters_tbl name c;
+      c
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let gauge name =
+  match Hashtbl.find_opt gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.add gauges_tbl name g;
+      g
+
+let set_gauge g v = g.g_value <- v
+let add_gauge g v = g.g_value <- g.g_value +. v
+let gauge_value g = g.g_value
+
+let histogram name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+      let h = { h_name = name; h_buckets = Array.make max_buckets 0 } in
+      Hashtbl.add histograms_tbl name h;
+      h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* number of significant bits: 1 -> 1; 2,3 -> 2; 4..7 -> 3; ... *)
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    min (bits v 0) (max_buckets - 1)
+  end
+
+let observe h v = h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1
+let bucket_lower i = if i = 0 then 0 else 1 lsl (i - 1)
+
+let histogram_buckets h =
+  let acc = ref [] in
+  for i = max_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then acc := (bucket_lower i, h.h_buckets.(i)) :: !acc
+  done;
+  !acc
+
+let by_name name_of tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> compare (name_of a) (name_of b))
+
+let counters () =
+  by_name (fun c -> c.c_name) counters_tbl |> List.map (fun c -> (c.c_name, c.c_value))
+
+let gauges () =
+  by_name (fun g -> g.g_name) gauges_tbl |> List.map (fun g -> (g.g_name, g.g_value))
+
+let histograms () =
+  by_name (fun h -> h.h_name) histograms_tbl
+  |> List.map (fun h -> (h.h_name, histogram_buckets h))
+
+(* --- JSONL sink ------------------------------------------------------ *)
+
+let jsonl : out_channel option ref = ref None
+
+let jsonl_emit j =
+  match !jsonl with
+  | None -> ()
+  | Some oc ->
+      Json.output oc j;
+      output_char oc '\n'
+
+(* --- spans ----------------------------------------------------------- *)
+
+type span_agg = { mutable a_count : int; mutable a_total : float; mutable a_max : float }
+
+let spans_tbl : (string, span_agg) Hashtbl.t = Hashtbl.create 64
+let span_stack : string list ref = ref []
+
+type span_stat = {
+  span_path : string;
+  span_count : int;
+  span_total_s : float;
+  span_max_s : float;
+}
+
+let span_stats () =
+  Hashtbl.fold
+    (fun path a acc ->
+      {
+        span_path = path;
+        span_count = a.a_count;
+        span_total_s = a.a_total;
+        span_max_s = a.a_max;
+      }
+      :: acc)
+    spans_tbl []
+  |> List.sort (fun a b -> compare a.span_path b.span_path)
+
+let record_span ~path ~name ~depth ~start ~dur =
+  let a =
+    match Hashtbl.find_opt spans_tbl path with
+    | Some a -> a
+    | None ->
+        let a = { a_count = 0; a_total = 0.0; a_max = 0.0 } in
+        Hashtbl.add spans_tbl path a;
+        a
+  in
+  a.a_count <- a.a_count + 1;
+  a.a_total <- a.a_total +. dur;
+  if dur > a.a_max then a.a_max <- dur;
+  jsonl_emit
+    (Json.Object
+       [
+         ("ev", Json.String "span");
+         ("name", Json.String name);
+         ("path", Json.String path);
+         ("depth", Json.Int depth);
+         ("start_s", Json.Float start);
+         ("dur_s", Json.Float dur);
+       ])
+
+let timed name f =
+  if not !enabled_flag then begin
+    let t = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t)
+  end
+  else begin
+    let depth = List.length !span_stack in
+    let path = match !span_stack with [] -> name | p :: _ -> p ^ "/" ^ name in
+    span_stack := path :: !span_stack;
+    let start = now_rel () in
+    let finish () =
+      (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
+      let dur = now_rel () -. start in
+      record_span ~path ~name ~depth ~start ~dur;
+      dur
+    in
+    match f () with
+    | v -> (v, finish ())
+    | exception e ->
+        ignore (finish ());
+        raise e
+  end
+
+let span name f = if not !enabled_flag then f () else fst (timed name f)
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges_tbl;
+  Hashtbl.iter (fun _ h -> Array.fill h.h_buckets 0 max_buckets 0) histograms_tbl;
+  Hashtbl.reset spans_tbl;
+  span_stack := []
+
+let open_jsonl_file path =
+  (match !jsonl with Some oc -> close_out oc | None -> ());
+  let oc = open_out path in
+  jsonl := Some oc;
+  jsonl_emit
+    (Json.Object
+       [
+         ("ev", Json.String "meta");
+         ("schema", Json.String "olayout-telemetry/v1");
+         ("unix_time", Json.Float (Unix.gettimeofday ()));
+       ])
+
+let close_jsonl () =
+  match !jsonl with
+  | None -> ()
+  | Some oc ->
+      (* Final registry dump so a JSONL stream is self-contained. *)
+      List.iter
+        (fun (n, v) ->
+          jsonl_emit
+            (Json.Object
+               [ ("ev", Json.String "counter"); ("name", Json.String n); ("value", Json.Int v) ]))
+        (counters ());
+      List.iter
+        (fun (n, v) ->
+          jsonl_emit
+            (Json.Object
+               [ ("ev", Json.String "gauge"); ("name", Json.String n); ("value", Json.Float v) ]))
+        (gauges ());
+      List.iter
+        (fun (n, buckets) ->
+          jsonl_emit
+            (Json.Object
+               [
+                 ("ev", Json.String "histogram");
+                 ("name", Json.String n);
+                 ( "buckets",
+                   Json.Array
+                     (List.map
+                        (fun (lower, count) ->
+                          Json.Object [ ("ge", Json.Int lower); ("count", Json.Int count) ])
+                        buckets) );
+               ]))
+        (histograms ());
+      List.iter
+        (fun s ->
+          jsonl_emit
+            (Json.Object
+               [
+                 ("ev", Json.String "span_summary");
+                 ("path", Json.String s.span_path);
+                 ("count", Json.Int s.span_count);
+                 ("total_s", Json.Float s.span_total_s);
+                 ("max_s", Json.Float s.span_max_s);
+               ]))
+        (span_stats ());
+      jsonl := None;
+      close_out oc
+
+(* --- console summary sink -------------------------------------------- *)
+
+let pp_summary ppf () =
+  let spans = span_stats () in
+  Format.fprintf ppf "@.### telemetry summary@.";
+  if spans <> [] then begin
+    Format.fprintf ppf "%-52s %8s %10s %10s %10s@." "span" "count" "total s" "mean ms"
+      "max ms";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-52s %8d %10.3f %10.3f %10.3f@." s.span_path s.span_count
+          s.span_total_s
+          (1000.0 *. s.span_total_s /. float_of_int (max 1 s.span_count))
+          (1000.0 *. s.span_max_s))
+      spans
+  end;
+  let cs = counters () in
+  if cs <> [] then begin
+    Format.fprintf ppf "@.%-52s %20s@." "counter" "value";
+    List.iter
+      (fun (n, v) ->
+        if v <> 0 then Format.fprintf ppf "%-52s %20d@." n v)
+      cs
+  end;
+  let gs = gauges () in
+  if gs <> [] then begin
+    Format.fprintf ppf "@.%-52s %20s@." "gauge" "value";
+    List.iter (fun (n, v) -> Format.fprintf ppf "%-52s %20.6g@." n v) gs
+  end;
+  List.iter
+    (fun (n, buckets) ->
+      if buckets <> [] then begin
+        Format.fprintf ppf "@.histogram %s (bucket floor: count):@.  " n;
+        List.iter (fun (lower, count) -> Format.fprintf ppf "%d:%d " lower count) buckets;
+        Format.fprintf ppf "@."
+      end)
+    (histograms ())

@@ -1,0 +1,113 @@
+(** Process-wide instrumentation for the reproduction pipeline.
+
+    Three kinds of instruments, all registered in a global registry under
+    dotted string names ([subsystem.metric]):
+
+    - {b counters} — monotonic ints behind handles; resolving the handle
+      (once, at module initialization) pays the hashtable lookup, so the
+      increment on a hot path (per fetch run, per cache access) is a single
+      memory write.  Counters are {e always} live: they feed user-visible
+      features such as [--trace-stats] whether or not span telemetry is
+      enabled.
+    - {b gauges} — float values with set/accumulate semantics (e.g. resident
+      trace-cache bytes, cumulative replay seconds).
+    - {b histograms} — power-of-two bucketed int distributions (bucket 0
+      holds values <= 0; bucket i >= 1 holds [2^(i-1), 2^i)).
+
+    {b Spans} measure wall-clock around a thunk and nest: each span's path
+    is its ancestors' names joined with ['/'] (e.g.
+    ["report/fig7/optimize/chaining"]).  Aggregates (count, total, max per
+    path) accumulate in the registry; when a JSONL sink is attached every
+    span completion also appends one JSON event line.  When telemetry is
+    {e disabled} ({!set_enabled}[ false]), {!span} is a direct call to the
+    thunk — no clock reads, no allocation.
+
+    The registry is process-global and single-threaded, matching the rest
+    of the pipeline. *)
+
+val set_enabled : bool -> unit
+(** Enable/disable span recording (default: enabled).  Counters, gauges and
+    histograms are unaffected — they are cheap enough to always run and
+    back always-on reporting ([--trace-stats]). *)
+
+val enabled : unit -> bool
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-register the counter named [name].  The same name always yields
+    the same handle. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+
+val histogram_buckets : histogram -> (int * int) list
+(** Non-empty buckets as [(bucket floor, count)], ascending. *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span.  Disabled path: tail call to
+    [f]. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** As {!span} but also returns the elapsed wall seconds.  The duration is
+    measured even when telemetry is disabled (callers print it), but
+    nothing is recorded then. *)
+
+type span_stat = {
+  span_path : string;
+  span_count : int;
+  span_total_s : float;
+  span_max_s : float;
+}
+
+val span_stats : unit -> span_stat list
+(** Aggregated spans, sorted by path. *)
+
+(** {1 Registry snapshots} *)
+
+val counters : unit -> (string * int) list
+(** All registered counters, sorted by name (zero-valued included, so two
+    snapshots of the same process always align). *)
+
+val gauges : unit -> (string * float) list
+val histograms : unit -> (string * (int * int) list) list
+
+val reset : unit -> unit
+(** Zero every registered instrument and drop span aggregates.  Handles
+    stay valid (they are zeroed in place, not removed). *)
+
+(** {1 Sinks} *)
+
+val open_jsonl_file : string -> unit
+(** Attach a JSONL event sink writing to [path] (truncates; closes any
+    previously attached sink).  Each span completion appends one JSON
+    object per line. *)
+
+val close_jsonl : unit -> unit
+(** Flush a final registry dump (counter/gauge/histogram/span_summary
+    events) and close the sink.  No-op when none is attached. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Pretty console summary of span aggregates and the registry. *)

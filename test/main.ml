@@ -17,5 +17,6 @@ let () =
       Test_oltp.suite;
       Test_perf.suite;
       Test_harness.suite;
+      Test_telemetry.suite;
       Test_properties.suite;
     ]
