@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --no-micro   # skip pass microbenchmarks
      dune exec bench/main.exe -- --trace-stats  # per-figure replay/live attribution
      dune exec bench/main.exe -- --bench-json   # write BENCH_<scale>.json summary
+     dune exec bench/main.exe -- --diagnose     # write DIAG_<scale>.json miss diagnostics
      dune exec bench/main.exe -- --telemetry-out FILE  # JSONL span/counter events
      dune exec bench/main.exe -- --telemetry-summary   # span/counter console dump *)
 
@@ -29,6 +30,7 @@ type options = {
   trace_stats : bool;
   telemetry_out : string option;
   bench_json : bool;
+  diagnose : bool;
   telemetry_summary : bool;
 }
 
@@ -37,6 +39,7 @@ let parse_args () =
   let trace_stats = ref false in
   let telemetry_out = ref None in
   let bench_json = ref false and telemetry_summary = ref false in
+  let diagnose = ref false in
   let missing opt =
     Printf.eprintf "option %s requires an argument\n" opt;
     exit 2
@@ -54,6 +57,9 @@ let parse_args () =
         go rest
     | "--bench-json" :: rest ->
         bench_json := true;
+        go rest
+    | "--diagnose" :: rest ->
+        diagnose := true;
         go rest
     | "--telemetry-summary" :: rest ->
         telemetry_summary := true;
@@ -77,6 +83,7 @@ let parse_args () =
     trace_stats = !trace_stats;
     telemetry_out = !telemetry_out;
     bench_json = !bench_json;
+    diagnose = !diagnose;
     telemetry_summary = !telemetry_summary;
   }
 
@@ -227,6 +234,26 @@ let () =
     Bench_artifact.write ~path ~scale:scale_name ~total_seconds
       ~trace_cache_bytes:stats.Context.trace_bytes ~figures;
     Format.printf "bench artifact written to %s@." path
+  end;
+  if opts.diagnose then begin
+    (* The DIAG artifact: diagnose the baseline layout at the headline
+       geometry.  The icache-miss counter delta around the measurement is
+       recorded so CI can assert classification totals equal the run's
+       simulated misses (the diagnosed cache is the only icache fed). *)
+    let module Diagnose = Olayout_harness.Diagnose in
+    let preset = Diagnose.preset_of_figure "fig4" in
+    let combo = Spike.Base in
+    let c_misses = Telemetry.counter "cachesim.icache_misses" in
+    let before = Telemetry.value c_misses in
+    let d = Diagnose.run ~combo ctx preset in
+    let delta = Telemetry.value c_misses - before in
+    List.iter
+      (fun tbl -> Olayout_harness.Table.print Format.std_formatter tbl)
+      (Diagnose.tables ~top:10 ~combo preset d);
+    let path = Diagnose.default_path ~scale:scale_name in
+    Diagnose.write_artifact ~path ~scale:scale_name ~combo ~preset
+      ~icache_misses_delta:delta d;
+    Format.printf "diagnostics artifact written to %s@." path
   end;
   if opts.telemetry_summary then Telemetry.pp_summary Format.std_formatter ();
   Telemetry.close_jsonl ()

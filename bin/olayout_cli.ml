@@ -314,6 +314,81 @@ let trace_cmd =
       const trace $ seed_arg $ quick_arg $ profile_file_arg $ combo_arg_value $ out_arg
       $ max_arg)
 
+(* --- diagnose --- *)
+
+let diagnose seed quick figure combo top out telemetry =
+  let scale = if quick then Context.Quick else Context.Full in
+  match Olayout_harness.Diagnose.preset_of_figure figure with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "olayout: %s\n" msg;
+      1
+  | preset ->
+      let ctx = Context.create ~scale ~seed () in
+      let c_misses = Telemetry.counter "cachesim.icache_misses" in
+      let before = Telemetry.value c_misses in
+      let d = Olayout_harness.Diagnose.run ~combo ctx preset in
+      let delta = Telemetry.value c_misses - before in
+      List.iter
+        (fun tbl -> Table.print Format.std_formatter tbl)
+        (Olayout_harness.Diagnose.tables ~top ~combo preset d);
+      Option.iter
+        (fun path ->
+          Olayout_harness.Diagnose.write_artifact ~path
+            ~scale:(if quick then "quick" else "full")
+            ~combo ~preset ~icache_misses_delta:delta d;
+          Format.printf "diagnostics artifact written to %s@." path)
+        out;
+      if telemetry then Telemetry.pp_summary Format.std_formatter ();
+      0
+
+let diagnose_cmd =
+  let figure_arg =
+    Arg.(
+      value & opt string "fig4"
+      & info [ "figure" ] ~docv:"ID"
+          ~doc:
+            (Printf.sprintf
+               "Figure geometry to diagnose (%s): runs the workload through that \
+                figure's cache with miss classification, per-segment attribution \
+                and conflict matrices."
+               (String.concat ", "
+                  (List.map
+                     (fun p -> p.Olayout_harness.Diagnose.fig)
+                     Olayout_harness.Diagnose.presets))))
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows per attribution table.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the machine-readable DIAG artifact to $(docv).")
+  in
+  let telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ] ~doc:"Print the telemetry summary after the report.")
+  in
+  (* Unlike [disasm]/[simulate], diagnosing defaults to the unoptimized
+     layout: the point is to see the conflicts the optimizations remove. *)
+  let base_combo_arg =
+    Arg.(
+      value & opt combo_conv Spike.Base
+      & info [ "combo" ] ~docv:"COMBO" ~doc:"Layout combination to diagnose.")
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Classify instruction-cache misses (compulsory/capacity/conflict) and \
+          attribute them to code segments.")
+    Term.(
+      const diagnose $ seed_arg $ quick_arg $ figure_arg $ base_combo_arg $ top_arg
+      $ out_arg $ telemetry_arg)
+
 (* --- report --- *)
 
 let report seed quick only trace_stats telemetry telemetry_out =
@@ -382,5 +457,5 @@ let () =
        (Cmd.group (Cmd.info "olayout" ~doc)
           [
             inspect_cmd; profile_cmd; disasm_cmd; optimize_cmd; simulate_cmd; trace_cmd;
-            report_cmd;
+            diagnose_cmd; report_cmd;
           ]))

@@ -16,6 +16,14 @@ let log2 n =
   go n 0
 
 let config ?name ~size_kb ~line ~assoc () =
+  (* Catch bad geometry where the caller wrote it, not later in [create]
+     (a battery or figure may build many configs before creating any). *)
+  if size_kb <= 0 then
+    invalid_arg (Printf.sprintf "Icache.config: size_kb must be positive (got %d)" size_kb);
+  if line <= 0 then
+    invalid_arg (Printf.sprintf "Icache.config: line must be positive (got %d)" line);
+  if assoc < 1 then
+    invalid_arg (Printf.sprintf "Icache.config: assoc must be >= 1 (got %d)" assoc);
   let name =
     match name with
     | Some n -> n
@@ -45,6 +53,7 @@ type t = {
   use_mask : int array;  (* slot -> bitmask of words touched since fill *)
   usage : usage option;
   on_miss : (int -> Run.owner -> unit) option;
+  on_evict : (evictor:int -> victim:int -> unit) option;
   prefetch_next : int;
   prefetched : bool array;  (* slot -> filled by prefetch, not yet referenced *)
   mutable prefetch_fills : int;
@@ -62,7 +71,7 @@ type t = {
 
 let owner_code = function Run.App -> 0 | Run.Kernel -> 1
 
-let create ?(track_usage = false) ?on_miss ?(prefetch_next = 0) cfg =
+let create ?(track_usage = false) ?on_miss ?on_evict ?(prefetch_next = 0) cfg =
   if not (is_pow2 cfg.size_bytes && is_pow2 cfg.line_bytes) then
     invalid_arg "Icache.create: size and line must be powers of two";
   if cfg.line_bytes < 4 then
@@ -98,6 +107,7 @@ let create ?(track_usage = false) ?on_miss ?(prefetch_next = 0) cfg =
            }
        else None);
     on_miss;
+    on_evict;
     prefetch_next;
     prefetched = Array.make slots false;
     prefetch_fills = 0;
@@ -153,6 +163,10 @@ let install t owner line_addr ~as_prefetch =
       t.displaced.((owner_code owner * 2) + t.owners.(slot)) <-
         t.displaced.((owner_code owner * 2) + t.owners.(slot)) + 1
     end;
+    (match t.on_evict with
+    | Some f ->
+        f ~evictor:(line_addr lsl t.line_shift) ~victim:(t.tags.(slot) lsl t.line_shift)
+    | None -> ());
     retire t slot
   end;
   t.tags.(slot) <- line_addr;
@@ -162,7 +176,10 @@ let install t owner line_addr ~as_prefetch =
   t.use_mask.(slot) <- 0;
   t.prefetched.(slot) <- as_prefetch;
   t.fills <- t.fills + 1;
-  if not (Hashtbl.mem t.seen_lines line_addr) then Hashtbl.add t.seen_lines line_addr ();
+  (* Footprint counts demand-referenced lines only: a prefetched line joins
+     [seen_lines] on its first demand hit (see [touch]), never on install. *)
+  if not as_prefetch && not (Hashtbl.mem t.seen_lines line_addr) then
+    Hashtbl.add t.seen_lines line_addr ();
   slot
 
 let resident t line_addr =
@@ -198,7 +215,9 @@ let touch t owner line_addr w0 w1 =
     let slot = base + !way in
     if t.prefetched.(slot) then begin
       t.prefetched.(slot) <- false;
-      t.prefetch_hits <- t.prefetch_hits + 1
+      t.prefetch_hits <- t.prefetch_hits + 1;
+      if not (Hashtbl.mem t.seen_lines line_addr) then
+        Hashtbl.add t.seen_lines line_addr ()
     end;
     t.last_use.(slot) <- t.clock;
     mark slot

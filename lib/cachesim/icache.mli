@@ -20,13 +20,17 @@ type config = { name : string; size_bytes : int; line_bytes : int; assoc : int }
     [size_bytes >= line_bytes * assoc]. *)
 
 val config : ?name:string -> size_kb:int -> line:int -> assoc:int -> unit -> config
-(** Convenience constructor; derives a descriptive name when absent. *)
+(** Convenience constructor; derives a descriptive name when absent.
+    @raise Invalid_argument on non-positive [size_kb] or [line], or
+    [assoc < 1] — geometry errors are reported where the configuration is
+    written, not later when a cache is created from it. *)
 
 type t
 
 val create :
   ?track_usage:bool ->
   ?on_miss:(int -> Olayout_exec.Run.owner -> unit) ->
+  ?on_evict:(evictor:int -> victim:int -> unit) ->
   ?prefetch_next:int ->
   config ->
   t
@@ -34,6 +38,13 @@ val create :
     per-word counters and lifetimes); only supported for lines of at most
     248 bytes.  Default false.  [on_miss] is invoked with the missing line's
     byte address on every miss — the hook that feeds a unified L2.
+
+    [on_evict] is invoked on every replacement of a valid line (demand
+    misses and prefetch installs alike; cold fills into empty slots are not
+    replacements) with the byte addresses of the incoming ([evictor]) and
+    outgoing ([victim]) lines — the hook the diagnostics layer uses to
+    build eviction conflict matrices.  On a demand miss [on_miss] fires
+    first, then [on_evict] once the victim is chosen.
 
     [prefetch_next] models a simple sequential stream buffer: on a demand
     miss to line L, the next [prefetch_next] lines are brought in as well
@@ -63,7 +74,9 @@ val displaced : t -> miss:Olayout_exec.Run.owner -> victim:Olayout_exec.Run.owne
     [victim] (cold fills excluded). *)
 
 val unique_lines : t -> int
-(** Distinct line addresses ever touched. *)
+(** Distinct line addresses ever demand-referenced.  Lines brought in by
+    the sequential prefetcher count only once actually used; a prefetched
+    line evicted before any reference never inflates the footprint. *)
 
 val instrs_fetched_into_cache : t -> int
 (** Words brought in by line fills (fills x words-per-line); with

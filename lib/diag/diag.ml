@@ -1,0 +1,347 @@
+module Icache = Olayout_cachesim.Icache
+module Run = Olayout_exec.Run
+module Histogram = Olayout_metrics.Histogram
+module Telemetry = Olayout_telemetry.Telemetry
+module Json = Olayout_telemetry.Json
+
+(* Aggregated over every diagnosed cache in the process, mirroring the
+   cachesim.* convention: the classification totals show up in
+   --telemetry-summary and the JSONL registry dump. *)
+let c_compulsory = Telemetry.counter "diag.compulsory_misses"
+let c_capacity = Telemetry.counter "diag.capacity_misses"
+let c_conflict = Telemetry.counter "diag.conflict_misses"
+let c_evictions = Telemetry.counter "diag.evictions"
+
+type totals = {
+  total : int;
+  compulsory : int;
+  capacity : int;
+  conflict : int;
+  cold : int;
+}
+
+type seg_row = {
+  seg_name : string;
+  seg_owner : Run.owner option;
+  seg_misses : int;
+  seg_compulsory : int;
+  seg_capacity : int;
+  seg_conflict : int;
+  seg_evictions_caused : int;
+  seg_evictions_suffered : int;
+}
+
+type conflict_pair = {
+  cp_evictor : string;
+  cp_victim : string;
+  cp_count : int;
+  cp_sets : int;
+  cp_hot_set : int;
+  cp_hot_count : int;
+}
+
+type state = {
+  resolver : Resolver.t;
+  shadow : Shadow.t;
+  seen : (int, unit) Hashtbl.t;  (* lines ever demand-referenced *)
+  line_shift : int;
+  line_bytes : int;
+  set_mask : int;
+  mutable n_compulsory : int;
+  mutable n_capacity : int;
+  mutable n_conflict : int;
+  mutable n_evictions : int;
+  (* Per-segment tallies; index [n_segments] is the unresolved bucket. *)
+  seg_misses : int array;
+  seg_compulsory : int array;
+  seg_capacity : int array;
+  seg_conflict : int array;
+  seg_caused : int array;
+  seg_suffered : int array;
+  set_misses : int array;
+  (* (set, evictor segment, victim segment) -> replacements *)
+  matrix : (int * int * int, int ref) Hashtbl.t;
+}
+
+type t = { ic : Icache.t; st : state }
+
+let log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+(* Attribute a line to the segment owning its first mapped word (line
+   starts can fall in alignment padding between segments). *)
+let resolve_line st addr =
+  let rec go off =
+    if off >= st.line_bytes then -1
+    else
+      match Resolver.resolve st.resolver (addr + off) with
+      | -1 -> go (off + 4)
+      | seg -> seg
+  in
+  go 0
+
+let seg_idx st seg = if seg < 0 then Array.length st.seg_misses - 1 else seg
+
+let create ~resolver (cfg : Icache.config) =
+  let n_sets = cfg.Icache.size_bytes / (cfg.Icache.line_bytes * cfg.Icache.assoc) in
+  let n_segs = Resolver.n_segments resolver in
+  let st =
+    {
+      resolver;
+      shadow = Shadow.create ~capacity:(cfg.Icache.size_bytes / cfg.Icache.line_bytes);
+      seen = Hashtbl.create 4096;
+      line_shift = log2 cfg.Icache.line_bytes;
+      line_bytes = cfg.Icache.line_bytes;
+      set_mask = n_sets - 1;
+      n_compulsory = 0;
+      n_capacity = 0;
+      n_conflict = 0;
+      n_evictions = 0;
+      seg_misses = Array.make (n_segs + 1) 0;
+      seg_compulsory = Array.make (n_segs + 1) 0;
+      seg_capacity = Array.make (n_segs + 1) 0;
+      seg_conflict = Array.make (n_segs + 1) 0;
+      seg_caused = Array.make (n_segs + 1) 0;
+      seg_suffered = Array.make (n_segs + 1) 0;
+      set_misses = Array.make n_sets 0;
+      matrix = Hashtbl.create 1024;
+    }
+  in
+  let on_miss addr _owner =
+    (* Fires before the line is installed: [seen] and [shadow] still
+       describe the stream up to (not including) this reference. *)
+    let line = addr lsr st.line_shift in
+    let seg = seg_idx st (resolve_line st addr) in
+    st.seg_misses.(seg) <- st.seg_misses.(seg) + 1;
+    st.set_misses.(line land st.set_mask) <- st.set_misses.(line land st.set_mask) + 1;
+    if not (Hashtbl.mem st.seen line) then begin
+      st.n_compulsory <- st.n_compulsory + 1;
+      st.seg_compulsory.(seg) <- st.seg_compulsory.(seg) + 1;
+      Telemetry.incr c_compulsory;
+      Hashtbl.add st.seen line ()
+    end
+    else if Shadow.mem st.shadow line then begin
+      st.n_conflict <- st.n_conflict + 1;
+      st.seg_conflict.(seg) <- st.seg_conflict.(seg) + 1;
+      Telemetry.incr c_conflict
+    end
+    else begin
+      st.n_capacity <- st.n_capacity + 1;
+      st.seg_capacity.(seg) <- st.seg_capacity.(seg) + 1;
+      Telemetry.incr c_capacity
+    end
+  in
+  let on_evict ~evictor ~victim =
+    let eseg = seg_idx st (resolve_line st evictor) in
+    let vseg = seg_idx st (resolve_line st victim) in
+    st.n_evictions <- st.n_evictions + 1;
+    Telemetry.incr c_evictions;
+    st.seg_caused.(eseg) <- st.seg_caused.(eseg) + 1;
+    st.seg_suffered.(vseg) <- st.seg_suffered.(vseg) + 1;
+    let key = ((evictor lsr st.line_shift) land st.set_mask, eseg, vseg) in
+    match Hashtbl.find_opt st.matrix key with
+    | Some r -> incr r
+    | None -> Hashtbl.add st.matrix key (ref 1)
+  in
+  { ic = Icache.create ~on_miss ~on_evict cfg; st }
+
+let icache t = t.ic
+
+(* Split a run into per-line sub-runs so the shadow cache interleaves with
+   the icache in stream order even across multi-line runs.  Each sub-run
+   touches exactly one line with the same word span the whole run would,
+   so the wrapped icache's counters equal an undiagnosed simulation's. *)
+let access_run t (r : Run.t) =
+  let st = t.st in
+  let first = r.Run.addr and last = r.Run.addr + (r.Run.len * 4) - 1 in
+  let first_line = first lsr st.line_shift and last_line = last lsr st.line_shift in
+  for line = first_line to last_line do
+    let lo = max first (line lsl st.line_shift) in
+    let hi = min last (((line + 1) lsl st.line_shift) - 1) in
+    Icache.access_run t.ic
+      { Run.owner = r.Run.owner; addr = lo; len = ((hi - lo) / 4) + 1 };
+    Shadow.touch st.shadow line
+  done
+
+let totals t =
+  {
+    total = Icache.misses t.ic;
+    compulsory = t.st.n_compulsory;
+    capacity = t.st.n_capacity;
+    conflict = t.st.n_conflict;
+    cold = Icache.cold_misses t.ic;
+  }
+
+let truncate top l =
+  match top with
+  | None -> l
+  | Some n ->
+      let rec take n = function
+        | x :: rest when n > 0 -> x :: take (n - 1) rest
+        | _ -> []
+      in
+      take n l
+
+let by_segment ?top t =
+  let st = t.st in
+  let n = Array.length st.seg_misses in
+  let rows = ref [] in
+  for i = n - 1 downto 0 do
+    let active =
+      st.seg_misses.(i) > 0 || st.seg_caused.(i) > 0 || st.seg_suffered.(i) > 0
+    in
+    if active then
+      rows :=
+        {
+          seg_name = (if i = n - 1 then "?" else Resolver.name st.resolver i);
+          seg_owner = (if i = n - 1 then None else Some (Resolver.owner st.resolver i));
+          seg_misses = st.seg_misses.(i);
+          seg_compulsory = st.seg_compulsory.(i);
+          seg_capacity = st.seg_capacity.(i);
+          seg_conflict = st.seg_conflict.(i);
+          seg_evictions_caused = st.seg_caused.(i);
+          seg_evictions_suffered = st.seg_suffered.(i);
+        }
+        :: !rows
+  done;
+  let sorted =
+    List.sort
+      (fun (a : seg_row) (b : seg_row) ->
+        match compare b.seg_misses a.seg_misses with
+        | 0 -> compare a.seg_name b.seg_name
+        | c -> c)
+      !rows
+  in
+  truncate top sorted
+
+let conflict_pairs ?top t =
+  let st = t.st in
+  (* Fold the per-set matrix into per-pair aggregates. *)
+  let pairs = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (set, eseg, vseg) count ->
+      let count = !count in
+      match Hashtbl.find_opt pairs (eseg, vseg) with
+      | Some (total, sets, hot_set, hot_count) ->
+          let hot_set, hot_count =
+            if count > hot_count then (set, count) else (hot_set, hot_count)
+          in
+          Hashtbl.replace pairs (eseg, vseg) (total + count, sets + 1, hot_set, hot_count)
+      | None -> Hashtbl.add pairs (eseg, vseg) (count, 1, set, count))
+    st.matrix;
+  let name i =
+    if i = Array.length st.seg_misses - 1 then "?" else Resolver.name st.resolver i
+  in
+  let rows =
+    Hashtbl.fold
+      (fun (eseg, vseg) (total, sets, hot_set, hot_count) acc ->
+        {
+          cp_evictor = name eseg;
+          cp_victim = name vseg;
+          cp_count = total;
+          cp_sets = sets;
+          cp_hot_set = hot_set;
+          cp_hot_count = hot_count;
+        }
+        :: acc)
+      pairs []
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.cp_count a.cp_count with
+        | 0 -> compare (a.cp_evictor, a.cp_victim) (b.cp_evictor, b.cp_victim)
+        | c -> c)
+      rows
+  in
+  truncate top sorted
+
+let set_pressure t =
+  let h = Histogram.create () in
+  Array.iter (fun m -> Histogram.add h m) t.st.set_misses;
+  h
+
+let hot_sets ?top t =
+  let rows = Array.to_list (Array.mapi (fun i m -> (i, m)) t.st.set_misses) in
+  let sorted =
+    List.sort (fun (ia, a) (ib, b) -> match compare b a with 0 -> compare ia ib | c -> c)
+      (List.filter (fun (_, m) -> m > 0) rows)
+  in
+  truncate top sorted
+
+let owner_tag = function
+  | Some Run.App -> Json.String "app"
+  | Some Run.Kernel -> Json.String "kernel"
+  | None -> Json.Null
+
+let json ?(top = 20) t =
+  let cfg = Icache.cfg t.ic in
+  let tt = totals t in
+  Json.Object
+    [
+      ( "geometry",
+        Json.Object
+          [
+            ("name", Json.String cfg.Icache.name);
+            ("size_bytes", Json.Int cfg.Icache.size_bytes);
+            ("line_bytes", Json.Int cfg.Icache.line_bytes);
+            ("assoc", Json.Int cfg.Icache.assoc);
+            ("sets", Json.Int (t.st.set_mask + 1));
+          ] );
+      ( "classification",
+        Json.Object
+          [
+            ("misses", Json.Int tt.total);
+            ("compulsory", Json.Int tt.compulsory);
+            ("capacity", Json.Int tt.capacity);
+            ("conflict", Json.Int tt.conflict);
+            ("cold_fills", Json.Int tt.cold);
+            ("accesses", Json.Int (Icache.accesses t.ic));
+            ("evictions", Json.Int t.st.n_evictions);
+          ] );
+      ( "segments",
+        Json.Array
+          (List.map
+             (fun r ->
+               Json.Object
+                 [
+                   ("name", Json.String r.seg_name);
+                   ("owner", owner_tag r.seg_owner);
+                   ("misses", Json.Int r.seg_misses);
+                   ("compulsory", Json.Int r.seg_compulsory);
+                   ("capacity", Json.Int r.seg_capacity);
+                   ("conflict", Json.Int r.seg_conflict);
+                   ("evictions_caused", Json.Int r.seg_evictions_caused);
+                   ("evictions_suffered", Json.Int r.seg_evictions_suffered);
+                 ])
+             (by_segment ~top t)) );
+      ( "conflict_pairs",
+        Json.Array
+          (List.map
+             (fun p ->
+               Json.Object
+                 [
+                   ("evictor", Json.String p.cp_evictor);
+                   ("victim", Json.String p.cp_victim);
+                   ("count", Json.Int p.cp_count);
+                   ("sets", Json.Int p.cp_sets);
+                   ("hot_set", Json.Int p.cp_hot_set);
+                   ("hot_set_count", Json.Int p.cp_hot_count);
+                 ])
+             (conflict_pairs ~top t)) );
+      ( "set_pressure",
+        Json.Object
+          [
+            ( "histogram",
+              Json.Array
+                (List.map
+                   (fun (k, c) -> Json.Array [ Json.Int k; Json.Int c ])
+                   (Histogram.to_sorted_list (set_pressure t))) );
+            ( "hot_sets",
+              Json.Array
+                (List.map
+                   (fun (set, m) -> Json.Array [ Json.Int set; Json.Int m ])
+                   (hot_sets ~top t)) );
+          ] );
+    ]

@@ -1,0 +1,89 @@
+module Placement = Olayout_core.Placement
+module Segment = Olayout_core.Segment
+module Run = Olayout_exec.Run
+open Olayout_ir
+
+type t = {
+  starts : int array;  (* segment start addresses, ascending *)
+  ends : int array;    (* exclusive end addresses, same order *)
+  names : string array;
+  owners : Run.owner array;
+}
+
+(* A segment's blocks are placed consecutively, so its extent is
+   [head addr, last block addr + encoded size). *)
+let seg_extent placement (seg : Segment.t) =
+  let start = Placement.block_addr placement ~proc:seg.Segment.proc ~block:(Segment.head seg) in
+  let last =
+    List.fold_left
+      (fun acc b ->
+        let addr = Placement.block_addr placement ~proc:seg.Segment.proc ~block:b in
+        let fin =
+          addr + (Placement.static_instrs placement ~proc:seg.Segment.proc ~block:b * 4)
+        in
+        max acc fin)
+      start seg.Segment.blocks
+  in
+  (start, last)
+
+let of_placements placements =
+  let entries = ref [] in
+  List.iteri
+    (fun pi (owner, placement) ->
+      let prog = Placement.prog placement in
+      let prefix = if pi = 0 then "" else prog.Prog.name ^ "/" in
+      (* Segments per procedure, to decide whether a #k suffix is needed. *)
+      let per_proc = Array.make (Prog.n_procs prog) 0 in
+      List.iter
+        (fun (seg : Segment.t) ->
+          per_proc.(seg.Segment.proc) <- per_proc.(seg.Segment.proc) + 1)
+        (Placement.segments placement);
+      let seen = Array.make (Prog.n_procs prog) 0 in
+      List.iter
+        (fun (seg : Segment.t) ->
+          let proc = seg.Segment.proc in
+          let k = seen.(proc) in
+          seen.(proc) <- k + 1;
+          let base = prefix ^ (Prog.proc prog proc).Proc.name in
+          let name =
+            if per_proc.(proc) = 1 then base else Printf.sprintf "%s#%d" base k
+          in
+          let start, fin = seg_extent placement seg in
+          if fin > start then entries := (start, fin, name, owner) :: !entries)
+        (Placement.segments placement))
+    placements;
+  let arr = Array.of_list !entries in
+  Array.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) arr;
+  Array.iteri
+    (fun i (s, _, n, _) ->
+      if i > 0 then
+        let _, pe, pn, _ = arr.(i - 1) in
+        if s < pe then
+          invalid_arg
+            (Printf.sprintf "Resolver.of_placements: overlapping segments %s and %s" pn n))
+    arr;
+  {
+    starts = Array.map (fun (s, _, _, _) -> s) arr;
+    ends = Array.map (fun (_, e, _, _) -> e) arr;
+    names = Array.map (fun (_, _, n, _) -> n) arr;
+    owners = Array.map (fun (_, _, _, o) -> o) arr;
+  }
+
+let n_segments t = Array.length t.starts
+
+(* Greatest segment with start <= addr, then an extent check. *)
+let resolve t addr =
+  let lo = ref 0 and hi = ref (Array.length t.starts) in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if t.starts.(mid) <= addr then lo := mid + 1 else hi := mid
+  done;
+  let i = !lo - 1 in
+  if i >= 0 && addr < t.ends.(i) then i else -1
+
+let name t i = if i < 0 then "?" else t.names.(i)
+
+let owner t i =
+  if i < 0 then invalid_arg "Resolver.owner: unresolved segment" else t.owners.(i)
+
+let seg_bytes t i = t.ends.(i) - t.starts.(i)

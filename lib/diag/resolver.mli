@@ -1,0 +1,40 @@
+(** Address → code-segment attribution.
+
+    Built from rendered placements (the same address map the executor
+    fetches through), the resolver answers "whose code is at this address?"
+    for every byte of the text sections — the lookup that lets the
+    diagnostics layer charge each cache miss and each eviction to a named
+    segment instead of a raw address.
+
+    Segments are {!Olayout_core.Segment.t} values: whole procedures before
+    splitting, individual chains after.  A procedure laid out as a single
+    segment is named after the procedure ([op_buf_hit@0]); a procedure
+    split into several segments numbers them in address order
+    ([op_buf_hit@0#2]).  Kernel segments are prefixed with the owning
+    binary's name when it is not the first placement given ([kernel/...]),
+    so the two binaries' attributions stay distinguishable in reports. *)
+
+type t
+
+val of_placements : (Olayout_exec.Run.owner * Olayout_core.Placement.t) list -> t
+(** Build a resolver covering every placement's segments.  Placements must
+    occupy disjoint address ranges (app vs kernel text); segment extents
+    within one placement never overlap by construction. *)
+
+val n_segments : t -> int
+(** Number of resolvable segments.  Segment ids are dense in
+    [0 .. n_segments - 1]. *)
+
+val resolve : t -> int -> int
+(** [resolve t addr] is the id of the segment whose extent contains byte
+    [addr], or [-1] when no segment covers it (alignment padding, data
+    addresses). *)
+
+val name : t -> int -> string
+(** Display name of a segment id ([-1] is ["?"]). *)
+
+val owner : t -> int -> Olayout_exec.Run.owner
+(** Stream owner of a segment id.  @raise Invalid_argument for [-1]. *)
+
+val seg_bytes : t -> int -> int
+(** Extent of a segment in bytes. *)

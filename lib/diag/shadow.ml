@@ -1,0 +1,67 @@
+(* Slots 0..cap-1 hold resident lines; [prev]/[next] link them in recency
+   order ([head] = MRU, [tail] = LRU).  -1 is the null link. *)
+type t = {
+  cap : int;
+  slot_of : (int, int) Hashtbl.t;  (* line -> slot *)
+  line_of : int array;
+  prev : int array;
+  next : int array;
+  mutable head : int;
+  mutable tail : int;
+  mutable size : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Shadow.create: capacity must be positive";
+  {
+    cap = capacity;
+    slot_of = Hashtbl.create (2 * capacity);
+    line_of = Array.make capacity (-1);
+    prev = Array.make capacity (-1);
+    next = Array.make capacity (-1);
+    head = -1;
+    tail = -1;
+    size = 0;
+  }
+
+let mem t line = Hashtbl.mem t.slot_of line
+
+let unlink t slot =
+  let p = t.prev.(slot) and n = t.next.(slot) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+let push_front t slot =
+  t.prev.(slot) <- -1;
+  t.next.(slot) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- slot;
+  t.head <- slot;
+  if t.tail < 0 then t.tail <- slot
+
+let touch t line =
+  match Hashtbl.find_opt t.slot_of line with
+  | Some slot ->
+      if t.head <> slot then begin
+        unlink t slot;
+        push_front t slot
+      end
+  | None ->
+      let slot =
+        if t.size < t.cap then begin
+          let s = t.size in
+          t.size <- t.size + 1;
+          s
+        end
+        else begin
+          (* Evict the LRU line and reuse its slot. *)
+          let s = t.tail in
+          Hashtbl.remove t.slot_of t.line_of.(s);
+          unlink t s;
+          s
+        end
+      in
+      t.line_of.(slot) <- line;
+      Hashtbl.replace t.slot_of line slot;
+      push_front t slot
+
+let size t = t.size

@@ -1,0 +1,28 @@
+(** Fully-associative LRU shadow cache over line addresses.
+
+    The classification oracle: fed the same line-reference stream as a real
+    set-associative cache of the same capacity, it answers "would a
+    fully-associative cache of this size have hit?".  A miss in the real
+    cache that hits here is a {e conflict} miss (set contention the layout
+    could fix); one that also misses here is a {e capacity} miss (the
+    working set simply does not fit).  Hill's standard three-C
+    decomposition, as used by the layout-tool literature.
+
+    O(1) per access: hash table plus an intrusive doubly-linked LRU list
+    over preallocated slots. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is the number of lines (cache size / line size).
+    @raise Invalid_argument when non-positive. *)
+
+val mem : t -> int -> bool
+(** Is the line resident?  Does not touch recency. *)
+
+val touch : t -> int -> unit
+(** Reference a line: move to MRU, inserting (and evicting the LRU line)
+    when absent. *)
+
+val size : t -> int
+(** Lines currently resident. *)

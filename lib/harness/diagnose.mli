@@ -1,0 +1,58 @@
+(** Cache-diagnostics driver: run one figure's cache geometry over the OLTP
+    workload with a {!Olayout_diag.Diag}-wrapped icache and report where
+    the misses come from.
+
+    Backs [olayout diagnose] and [bench --diagnose].  Replay-compatible:
+    the diagnosed cache consumes only the rendered run stream, so once a
+    figure has recorded the (combo, kernel, txns) trace the diagnosis
+    replays it instead of re-walking the server. *)
+
+module Diag = Olayout_diag.Diag
+module Spike = Olayout_core.Spike
+
+type preset = {
+  fig : string;          (** figure id the geometry comes from *)
+  size_kb : int;
+  line : int;
+  assoc : int;
+  combined : bool;       (** feed the kernel stream too (figs 12-13 setup) *)
+  what : string;         (** one-line description for reports *)
+}
+
+val presets : preset list
+(** Diagnosable figure geometries: [fig4] (64 KB, 128 B, direct-mapped,
+    application stream — the headline sweep point), [fig6] (same but
+    4-way — what associativity already absorbs), [fig12] (128 KB, 128 B,
+    4-way, combined app+kernel — the interference setup). *)
+
+val preset_of_figure : string -> preset
+(** @raise Invalid_argument on unknown ids, listing the valid ones. *)
+
+val run : ?combo:Spike.combo -> Context.t -> preset -> Diag.t
+(** Measure the context's workload through a diagnosed cache of the
+    preset's geometry under [combo] (default [Base]: diagnosing the
+    unoptimized layout shows the conflicts the optimizations remove). *)
+
+val tables : ?top:int -> combo:Spike.combo -> preset -> Diag.t -> Table.t list
+(** Human-readable report: classification summary, top-[top] (default 10)
+    miss-attributed segments, top conflict pairs and set-pressure
+    hotspots. *)
+
+val artifact_schema : string
+
+val default_path : scale:string -> string
+(** [DIAG_<scale>.json]. *)
+
+val write_artifact :
+  path:string ->
+  scale:string ->
+  combo:Spike.combo ->
+  preset:preset ->
+  icache_misses_delta:int ->
+  Diag.t ->
+  unit
+(** Write the machine-readable diagnostics artifact.
+    [icache_misses_delta] is the change of the process-wide
+    [cachesim.icache_misses] counter across the diagnosed measurement; for
+    a single diagnosed cache it equals the classification total, and the
+    artifact records both so CI can assert the equality. *)

@@ -35,7 +35,7 @@ let mk_side () =
   let l1i =
     Icache.create
       ~on_miss:(fun addr _ ->
-        Cache.access board ~kind:0 (Olayout_memsim.Phys.translate addr))
+        Cache.access board ~kind:Cache.Instr (Olayout_memsim.Phys.translate addr))
       (Icache.config ~name:"21164-8K" ~size_kb:8 ~line:32 ~assoc:1 ())
   in
   {

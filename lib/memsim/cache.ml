@@ -3,6 +3,10 @@ module Telemetry = Olayout_telemetry.Telemetry
 let c_accesses = Telemetry.counter "memsim.cache_accesses"
 let c_misses = Telemetry.counter "memsim.cache_misses"
 
+type kind = Instr | Data
+
+let kind_code = function Instr -> 0 | Data -> 1
+
 type t = {
   name : string;
   assoc : int;
@@ -11,6 +15,7 @@ type t = {
   tags : int array;
   last_use : int array;
   on_miss : (int -> unit) option;
+  on_evict : (evictor:int -> victim:int -> unit) option;
   mutable clock : int;
   mutable misses : int;
   acc_kind : int array;
@@ -21,7 +26,7 @@ let log2 n =
   let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
   go n 0
 
-let create ?on_miss ~name ~size_bytes ~line_bytes ~assoc () =
+let create ?on_miss ?on_evict ~name ~size_bytes ~line_bytes ~assoc () =
   (* [0 land -1 = 0] would pass the power-of-two test below and then divide
      by zero computing the set count; reject non-positive sizes first. *)
   if line_bytes <= 0 then invalid_arg "Cache.create: line size must be positive";
@@ -43,6 +48,7 @@ let create ?on_miss ~name ~size_bytes ~line_bytes ~assoc () =
     tags = Array.make (n_sets * assoc) (-1);
     last_use = Array.make (n_sets * assoc) 0;
     on_miss;
+    on_evict;
     clock = 0;
     misses = 0;
     acc_kind = Array.make 2 0;
@@ -50,6 +56,7 @@ let create ?on_miss ~name ~size_bytes ~line_bytes ~assoc () =
   }
 
 let access t ~kind addr =
+  let kind = kind_code kind in
   t.clock <- t.clock + 1;
   Telemetry.incr c_accesses;
   t.acc_kind.(kind) <- t.acc_kind.(kind) + 1;
@@ -74,6 +81,11 @@ let access t ~kind addr =
         && t.last_use.(base + i) < t.last_use.(base + !victim)
       then victim := i
     done;
+    let old = t.tags.(base + !victim) in
+    if old <> -1 then
+      (match t.on_evict with
+      | Some f -> f ~evictor:(line lsl t.line_shift) ~victim:(old lsl t.line_shift)
+      | None -> ());
     t.tags.(base + !victim) <- line;
     t.last_use.(base + !victim) <- t.clock
   end
@@ -81,5 +93,5 @@ let access t ~kind addr =
 let name t = t.name
 let accesses t = t.clock
 let misses t = t.misses
-let misses_kind t k = t.miss_kind.(k)
-let accesses_kind t k = t.acc_kind.(k)
+let misses_kind t k = t.miss_kind.(kind_code k)
+let accesses_kind t k = t.acc_kind.(kind_code k)

@@ -24,9 +24,6 @@ let simos_base =
     itlb_entries = 64;
   }
 
-let kind_instr = 0
-let kind_data = 1
-
 type t = { l1i : Icache.t; l1d : Cache.t; l2 : Cache.t; itlb : Itlb.t }
 
 let create cfg =
@@ -37,12 +34,12 @@ let create cfg =
   (* The unified L2 is physically indexed; L1s are virtually indexed. *)
   let l1i =
     Icache.create
-      ~on_miss:(fun addr _owner -> Cache.access l2 ~kind:kind_instr (Phys.translate addr))
+      ~on_miss:(fun addr _owner -> Cache.access l2 ~kind:Cache.Instr (Phys.translate addr))
       cfg.l1i
   in
   let l1d =
     Cache.create
-      ~on_miss:(fun addr -> Cache.access l2 ~kind:kind_data (Phys.translate addr))
+      ~on_miss:(fun addr -> Cache.access l2 ~kind:Cache.Data (Phys.translate addr))
       ~name:"l1d" ~size_bytes:cfg.l1d_size_bytes ~line_bytes:cfg.l1d_line
       ~assoc:cfg.l1d_assoc ()
   in
@@ -53,13 +50,13 @@ let fetch_run t run =
   Itlb.access_run t.itlb run;
   Icache.access_run t.l1i run
 
-let data_access t addr = Cache.access t.l1d ~kind:kind_data addr
+let data_access t addr = Cache.access t.l1d ~kind:Cache.Data addr
 
 let l1i t = t.l1i
 let itlb t = t.itlb
 let l1d_misses t = Cache.misses t.l1d
-let l2_instr_misses t = Cache.misses_kind t.l2 kind_instr
-let l2_data_misses t = Cache.misses_kind t.l2 kind_data
+let l2_instr_misses t = Cache.misses_kind t.l2 Cache.Instr
+let l2_data_misses t = Cache.misses_kind t.l2 Cache.Data
 let l2_misses t = Cache.misses t.l2
 let l1i_misses t = Icache.misses t.l1i
 let itlb_misses t = Itlb.misses t.itlb

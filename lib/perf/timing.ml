@@ -23,7 +23,7 @@ let create (m : Machine.t) =
       ~on_miss:(fun addr _owner ->
         let addr = Olayout_memsim.Phys.translate addr in
         let before = Cache.misses l2 in
-        Cache.access l2 ~kind:0 addr;
+        Cache.access l2 ~kind:Cache.Instr addr;
         if Cache.misses l2 > before then incr l2_misses else incr l2_hits)
       m.l1i
   in

@@ -12,6 +12,7 @@ let () =
       Test_exec.suite;
       Test_cachesim.suite;
       Test_memsim.suite;
+      Test_diag.suite;
       Test_db.suite;
       Test_codegen.suite;
       Test_oltp.suite;

@@ -128,6 +128,38 @@ let test_on_miss_hook () =
   Icache.access_run c (app_run 100 1);
   Alcotest.(check (list int)) "hook fires once with line addr" [ 64 ] !missed
 
+let test_on_evict_hook () =
+  let evts = ref [] in
+  let c =
+    Icache.create
+      ~on_evict:(fun ~evictor ~victim -> evts := (evictor, victim) :: !evts)
+      (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ())
+  in
+  Icache.access_run c (app_run 0 1);
+  Alcotest.(check (list (pair int int))) "cold fill is not an eviction" [] !evts;
+  Icache.access_run c (app_run 1024 1);
+  Alcotest.(check (list (pair int int))) "replacement reported" [ (1024, 0) ] !evts;
+  Icache.access_run c (app_run 0 1);
+  Alcotest.(check (list (pair int int)))
+    "line addresses, most recent first"
+    [ (0, 1024); (1024, 0) ]
+    !evts
+
+let test_on_evict_covers_prefetch_installs () =
+  let evts = ref [] in
+  let c =
+    Icache.create ~prefetch_next:1
+      ~on_evict:(fun ~evictor ~victim -> evts := (evictor, victim) :: !evts)
+      (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ())
+  in
+  (* Occupy set 1 (line 17 = addr 1088), then miss on line 0: the prefetch
+     of line 1 (addr 64) replaces it and must be reported. *)
+  Icache.access_run c (app_run 1088 1);
+  Icache.access_run c (app_run 0 1);
+  Alcotest.(check (list (pair int int))) "prefetch replacement reported"
+    [ (64, 1088) ]
+    !evts
+
 let test_battery () =
   let b =
     Battery.create
@@ -173,6 +205,20 @@ let test_prefetch_covers_run () =
   Alcotest.(check int) "one demand miss" 1 (Icache.misses c);
   Alcotest.(check int) "two prefetch fills" 2 (Icache.prefetch_fills c);
   Alcotest.(check int) "one useful" 1 (Icache.prefetch_hits c)
+
+let test_prefetch_unique_lines_demand_only () =
+  let c =
+    Icache.create ~prefetch_next:2 (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ())
+  in
+  Icache.access_run c (app_run 0 1);
+  (* Lines 1-2 were prefetched but never referenced: not part of the demand
+     footprint. *)
+  Alcotest.(check int) "only the referenced line" 1 (Icache.unique_lines c);
+  (* A hit on a still-speculative prefetched line makes it demand-referenced. *)
+  Icache.access_run c (app_run 64 1);
+  Alcotest.(check int) "referenced prefetch now counts" 2 (Icache.unique_lines c);
+  Icache.access_run c (app_run 64 1);
+  Alcotest.(check int) "counted once" 2 (Icache.unique_lines c)
 
 let test_prefetch_off_by_default () =
   let c = Icache.create (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ()) in
@@ -261,9 +307,14 @@ let suite =
       Alcotest.test_case "lifetime" `Quick test_lifetime;
       Alcotest.test_case "usage requires flag" `Quick test_usage_requires_flag;
       Alcotest.test_case "on_miss hook" `Quick test_on_miss_hook;
+      Alcotest.test_case "on_evict hook" `Quick test_on_evict_hook;
+      Alcotest.test_case "on_evict covers prefetch installs" `Quick
+        test_on_evict_covers_prefetch_installs;
       Alcotest.test_case "battery" `Quick test_battery;
       Alcotest.test_case "prefetch next line" `Quick test_prefetch_next_line;
       Alcotest.test_case "prefetch covers run" `Quick test_prefetch_covers_run;
+      Alcotest.test_case "prefetch footprint is demand-only" `Quick
+        test_prefetch_unique_lines_demand_only;
       Alcotest.test_case "prefetch off by default" `Quick test_prefetch_off_by_default;
       Alcotest.test_case "bad configs" `Quick test_bad_configs;
       QCheck_alcotest.to_alcotest qcheck_matches_reference;

@@ -42,18 +42,18 @@ let test_itlb_lru_eviction () =
 
 let test_cache_kinds () =
   let c = Cache.create ~name:"t" ~size_bytes:1024 ~line_bytes:64 ~assoc:2 () in
-  Cache.access c ~kind:0 0;
-  Cache.access c ~kind:1 64;
-  Cache.access c ~kind:1 64;
-  Alcotest.(check int) "instr misses" 1 (Cache.misses_kind c 0);
-  Alcotest.(check int) "data misses" 1 (Cache.misses_kind c 1);
-  Alcotest.(check int) "data accesses" 2 (Cache.accesses_kind c 1);
+  Cache.access c ~kind:Cache.Instr 0;
+  Cache.access c ~kind:Cache.Data 64;
+  Cache.access c ~kind:Cache.Data 64;
+  Alcotest.(check int) "instr misses" 1 (Cache.misses_kind c Cache.Instr);
+  Alcotest.(check int) "data misses" 1 (Cache.misses_kind c Cache.Data);
+  Alcotest.(check int) "data accesses" 2 (Cache.accesses_kind c Cache.Data);
   Alcotest.(check int) "total" 2 (Cache.misses c)
 
 let test_cache_non_pow2_size () =
   (* 1.5 MB 6-way with 64 B lines: 4096 sets, legal. *)
   let c = Cache.create ~name:"l2" ~size_bytes:(1536 * 1024) ~line_bytes:64 ~assoc:6 () in
-  Cache.access c ~kind:0 0;
+  Cache.access c ~kind:Cache.Instr 0;
   Alcotest.(check int) "works" 1 (Cache.misses c)
 
 let test_cache_bad_configs () =
@@ -76,9 +76,23 @@ let test_cache_on_miss () =
     Cache.create ~on_miss:(fun _ -> incr fired) ~name:"t" ~size_bytes:1024 ~line_bytes:64
       ~assoc:1 ()
   in
-  Cache.access c ~kind:0 0;
-  Cache.access c ~kind:0 0;
+  Cache.access c ~kind:Cache.Instr 0;
+  Cache.access c ~kind:Cache.Instr 0;
   Alcotest.(check int) "fires on miss only" 1 !fired
+
+let test_cache_on_evict () =
+  let evts = ref [] in
+  let c =
+    Cache.create
+      ~on_evict:(fun ~evictor ~victim -> evts := (evictor, victim) :: !evts)
+      ~name:"t" ~size_bytes:1024 ~line_bytes:64 ~assoc:1 ()
+  in
+  Cache.access c ~kind:Cache.Instr 0;
+  Alcotest.(check (list (pair int int))) "cold fill is not an eviction" [] !evts;
+  Cache.access c ~kind:Cache.Data 1024;
+  Alcotest.(check (list (pair int int))) "replacement reported" [ (1024, 0) ] !evts;
+  Cache.access c ~kind:Cache.Data 1024;
+  Alcotest.(check (list (pair int int))) "hits stay silent" [ (1024, 0) ] !evts
 
 let test_hierarchy_wiring () =
   let h = Hierarchy.create Hierarchy.simos_base in
@@ -128,6 +142,7 @@ let suite =
       Alcotest.test_case "cache non-pow2 size" `Quick test_cache_non_pow2_size;
       Alcotest.test_case "cache bad configs" `Quick test_cache_bad_configs;
       Alcotest.test_case "cache on_miss" `Quick test_cache_on_miss;
+      Alcotest.test_case "cache on_evict" `Quick test_cache_on_evict;
       Alcotest.test_case "hierarchy wiring" `Quick test_hierarchy_wiring;
       Alcotest.test_case "phys translate" `Quick test_phys_translate;
       Alcotest.test_case "phys collisions" `Quick test_phys_no_trivial_collisions;
