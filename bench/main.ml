@@ -11,7 +11,10 @@
      dune exec bench/main.exe -- --bench-json   # write BENCH_<scale>.json summary
      dune exec bench/main.exe -- --diagnose     # write DIAG_<scale>.json miss diagnostics
      dune exec bench/main.exe -- --telemetry-out FILE  # JSONL span/counter events
-     dune exec bench/main.exe -- --telemetry-summary   # span/counter console dump *)
+     dune exec bench/main.exe -- --telemetry-summary   # span/counter console dump
+     dune exec bench/main.exe -- --baseline FILE       # diff against a saved artifact
+     dune exec bench/main.exe -- --baseline FILE --gate  # exit non-zero on drift
+     dune exec bench/main.exe -- --chrome-trace FILE   # Perfetto-loadable trace *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -21,7 +24,12 @@ module Chaining = Olayout_core.Chaining
 module Splitting = Olayout_core.Splitting
 module Pettis_hansen = Olayout_core.Pettis_hansen
 module Telemetry = Olayout_telemetry.Telemetry
+module Json = Olayout_telemetry.Json
 module Bench_artifact = Olayout_telemetry.Bench_artifact
+module Artifact = Olayout_regress.Artifact
+module Diff = Olayout_regress.Diff
+module Fidelity = Olayout_regress.Fidelity
+module Chrome_trace = Olayout_regress.Chrome_trace
 
 type options = {
   quick : bool;
@@ -32,7 +40,24 @@ type options = {
   bench_json : bool;
   diagnose : bool;
   telemetry_summary : bool;
+  baseline : string option;
+  gate : bool;
+  tolerance : float option;
+  compare_out : string option;
+  chrome_trace : string option;
 }
+
+let flag_summary =
+  "--quick, --no-micro, --trace-stats, --bench-json, --diagnose, \
+   --telemetry-summary, --only IDS, --telemetry-out FILE, --baseline FILE, \
+   --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE"
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2)
+    fmt
 
 let parse_args () =
   let quick = ref false and only = ref None and micro = ref true in
@@ -40,9 +65,11 @@ let parse_args () =
   let telemetry_out = ref None in
   let bench_json = ref false and telemetry_summary = ref false in
   let diagnose = ref false in
-  let missing opt =
-    Printf.eprintf "option %s requires an argument\n" opt;
-    exit 2
+  let baseline = ref None and gate = ref false in
+  let tolerance = ref None and compare_out = ref None in
+  let chrome_trace = ref None in
+  let missing opt expected =
+    usage_error "option %s requires an argument: %s" opt expected
   in
   let rec go = function
     | [] -> ()
@@ -64,18 +91,53 @@ let parse_args () =
     | "--telemetry-summary" :: rest ->
         telemetry_summary := true;
         go rest
-    | [ ("--only" | "--telemetry-out") as opt ] -> missing opt
+    | "--gate" :: rest ->
+        gate := true;
+        go rest
+    | [ "--only" ] ->
+        missing "--only"
+          (Printf.sprintf "a comma-separated subset of %s"
+             (String.concat ", " Report.experiment_ids))
+    | [ "--telemetry-out" ] -> missing "--telemetry-out" "a JSONL output path"
+    | [ "--baseline" ] ->
+        missing "--baseline" "a saved olayout-bench/v1 artifact to diff against"
+    | [ "--tolerance" ] ->
+        missing "--tolerance" "a relative fraction, e.g. 0.25 for +/-25%"
+    | [ "--compare-out" ] -> missing "--compare-out" "a JSON output path"
+    | [ "--chrome-trace" ] ->
+        missing "--chrome-trace" "a trace-event JSON output path"
     | "--only" :: ids :: rest ->
         only := Some (String.split_on_char ',' ids);
         go rest
     | "--telemetry-out" :: path :: rest ->
         telemetry_out := Some path;
         go rest
+    | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        go rest
+    | "--tolerance" :: frac :: rest ->
+        (match float_of_string_opt frac with
+        | Some f when f >= 0.0 -> tolerance := Some f
+        | Some _ | None ->
+            usage_error
+              "--tolerance expects a non-negative fraction (e.g. 0.25 for \
+               +/-25%%), got %S"
+              frac);
+        go rest
+    | "--compare-out" :: path :: rest ->
+        compare_out := Some path;
+        go rest
+    | "--chrome-trace" :: path :: rest ->
+        chrome_trace := Some path;
+        go rest
     | arg :: _ ->
-        Printf.eprintf "unknown argument %s\n" arg;
-        exit 2
+        usage_error "unknown argument %s (accepted: %s)" arg flag_summary
   in
   go (List.tl (Array.to_list Sys.argv));
+  if !gate && !baseline = None then
+    usage_error "--gate needs --baseline FILE: there is nothing to gate against";
+  if !tolerance <> None && !baseline = None then
+    usage_error "--tolerance only applies to a --baseline FILE comparison";
   {
     quick = !quick;
     only = !only;
@@ -85,6 +147,11 @@ let parse_args () =
     bench_json = !bench_json;
     diagnose = !diagnose;
     telemetry_summary = !telemetry_summary;
+    baseline = !baseline;
+    gate = !gate;
+    tolerance = !tolerance;
+    compare_out = !compare_out;
+    chrome_trace = !chrome_trace;
   }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
@@ -183,9 +250,24 @@ let microbench ctx =
       | Some _ | None -> Format.printf "%-50s %14s@." name "-")
     results
 
+(* The --chrome-trace export converts the telemetry JSONL stream; when the
+   user did not ask to keep that stream, route it through a temp file. *)
+let telemetry_sink opts =
+  match (opts.telemetry_out, opts.chrome_trace) with
+  | (Some _ as out), _ -> (out, false)
+  | None, Some _ -> (Some (Filename.temp_file "olayout_telemetry" ".jsonl"), true)
+  | None, None -> (None, false)
+
 let () =
   let opts = parse_args () in
-  Option.iter Telemetry.open_jsonl_file opts.telemetry_out;
+  let jsonl_path, jsonl_is_temp = telemetry_sink opts in
+  Option.iter Telemetry.open_jsonl_file jsonl_path;
+  if jsonl_path <> None then begin
+    (* Counter tracks for the Chrome trace: cumulative simulated i-cache
+       misses and the trace-cache footprint, sampled at span completion. *)
+    Telemetry.watch_counter (Telemetry.counter "cachesim.icache_misses");
+    Telemetry.watch_gauge (Telemetry.gauge "context.trace_cache_bytes")
+  end;
   let scale = if opts.quick then Context.Quick else Context.Full in
   let scale_name = if opts.quick then "quick" else "full" in
   Format.printf
@@ -205,14 +287,21 @@ let () =
             Report.run ~selection ~trace_stats:opts.trace_stats ctx
               Format.std_formatter
           with Invalid_argument msg ->
-            Printf.eprintf "%s\n" msg;
+            (* Report's message names the invalid id and lists the valid ones. *)
+            Printf.eprintf "bench: --only: %s\n" msg;
             exit 2
         in
         if opts.micro then Telemetry.span "bench.micro" (fun () -> microbench ctx);
         (ctx, figures))
   in
   Format.printf "@.bench total: %.1fs@." total_seconds;
-  if opts.bench_json then begin
+  (* Score the paper's claims before any artifact snapshot, so the
+     fidelity.* gauges land in BENCH_<scale>.json as gated metrics. *)
+  let fidelity = Fidelity.of_registry () in
+  Fidelity.publish_gauges fidelity;
+  Format.printf "%a" Fidelity.pp fidelity;
+  let artifact_path = ref None in
+  if opts.bench_json || opts.baseline <> None then begin
     let stats = Context.trace_stats ctx in
     let figures =
       List.map
@@ -233,6 +322,7 @@ let () =
     let path = Bench_artifact.default_path ~scale:scale_name in
     Bench_artifact.write ~path ~scale:scale_name ~total_seconds
       ~trace_cache_bytes:stats.Context.trace_bytes ~figures;
+    artifact_path := Some path;
     Format.printf "bench artifact written to %s@." path
   end;
   if opts.diagnose then begin
@@ -256,4 +346,64 @@ let () =
     Format.printf "diagnostics artifact written to %s@." path
   end;
   if opts.telemetry_summary then Telemetry.pp_summary Format.std_formatter ();
-  Telemetry.close_jsonl ()
+  Telemetry.close_jsonl ();
+  Option.iter
+    (fun dst ->
+      let src = Option.get jsonl_path in
+      (try Chrome_trace.convert ~src ~dst
+       with Chrome_trace.Convert_error msg ->
+         Printf.eprintf "bench: --chrome-trace: %s\n" msg;
+         exit 2);
+      if jsonl_is_temp then Sys.remove src;
+      Format.printf "chrome trace written to %s (load in Perfetto)@." dst)
+    opts.chrome_trace;
+  (* The baseline diff runs last so every artifact is on disk even when the
+     gate trips.  Both sides load from disk: the fresh run's metrics go
+     through the same writer precision as the baseline's. *)
+  Option.iter
+    (fun baseline_path ->
+      let result =
+        try
+          let old_art = Artifact.load_file baseline_path in
+          let new_art = Artifact.load_file (Option.get !artifact_path) in
+          Ok
+            (Diff.compare_artifacts ?tolerance:opts.tolerance ~old_art ~new_art
+               ())
+        with Artifact.Load_error msg -> Error msg
+      in
+      match result with
+      | Error msg ->
+          Printf.eprintf "bench: --baseline: %s\n" msg;
+          exit 2
+      | Ok d ->
+          Format.printf "%a" Diff.pp d;
+          let failures = Diff.gate_failures d in
+          let gate_failed = opts.gate && failures <> [] in
+          let compare_path =
+            match opts.compare_out with
+            | Some p -> p
+            | None -> Printf.sprintf "COMPARE_%s.json" scale_name
+          in
+          let oc = open_out compare_path in
+          Json.output oc (Diff.to_json ~fidelity ~gated:opts.gate ~gate_failed d);
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "compare artifact written to %s@." compare_path;
+          if gate_failed then begin
+            List.iter
+              (fun (e : Diff.entry) ->
+                Printf.eprintf "bench: gate: deterministic drift in %s (%s -> %s)\n"
+                  e.Diff.e_path
+                  (match e.Diff.e_old with
+                  | Some v -> Printf.sprintf "%.12g" v
+                  | None -> "absent")
+                  (match e.Diff.e_new with
+                  | Some v -> Printf.sprintf "%.12g" v
+                  | None -> "absent"))
+              failures;
+            Printf.eprintf
+              "bench: gate failed: %d deterministic metric(s) drifted from %s\n"
+              (List.length failures) baseline_path;
+            exit 1
+          end)
+    opts.baseline

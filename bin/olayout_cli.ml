@@ -1,10 +1,12 @@
 (* olayout: command-line front end for the code-layout reproduction.
 
    Subcommands:
-     inspect   - build the synthetic binaries and show their structure
-     optimize  - run the profiling phase and compare layout combinations
-     simulate  - run the OLTP workload through a custom instruction cache
-     report    - regenerate the paper's figures (same engine as bench/) *)
+     inspect      - build the synthetic binaries and show their structure
+     optimize     - run the profiling phase and compare layout combinations
+     simulate     - run the OLTP workload through a custom instruction cache
+     report       - regenerate the paper's figures (same engine as bench/)
+     compare      - diff two bench/diag artifacts, gate on deterministic drift
+     chrome-trace - telemetry JSONL -> Perfetto-loadable trace-event JSON *)
 
 open Cmdliner
 module Context = Olayout_harness.Context
@@ -450,6 +452,150 @@ let report_cmd =
       const report $ seed_arg $ quick_arg $ only_arg $ trace_stats_arg
       $ telemetry_arg $ telemetry_out_arg)
 
+(* --- compare: diff two run artifacts --- *)
+
+let compare_artifacts old_path new_path tolerance gate gate_timing out fidelity =
+  let module Artifact = Olayout_regress.Artifact in
+  let module Diff = Olayout_regress.Diff in
+  let module Fidelity = Olayout_regress.Fidelity in
+  match
+    let old_art = Artifact.load_file old_path in
+    let new_art = Artifact.load_file new_path in
+    Diff.compare_artifacts ?tolerance ~old_art ~new_art ()
+  with
+  | exception Artifact.Load_error msg ->
+      Printf.eprintf "olayout: compare: %s\n" msg;
+      1
+  | d ->
+      Format.printf "%a" Diff.pp d;
+      let fid =
+        (* Fidelity scores the *new* side; only bench artifacts carry the
+           fig.* gauges the claims read. *)
+        if fidelity then Some (Fidelity.of_artifact d.Diff.new_art) else None
+      in
+      Option.iter (fun f -> Format.printf "%a" Fidelity.pp f) fid;
+      let failures = Diff.gate_failures ~timing:gate_timing d in
+      let gate_failed = gate && failures <> [] in
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Olayout_telemetry.Json.output oc
+            (Diff.to_json ?fidelity:fid ~gated:gate ~gate_failed d);
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "compare artifact written to %s@." path)
+        out;
+      if gate_failed then begin
+        List.iter
+          (fun (e : Diff.entry) ->
+            Printf.eprintf "olayout: gate: %s in %s\n"
+              (match e.Diff.e_status with
+              | Diff.Drift -> "deterministic drift"
+              | _ -> "timing drift beyond tolerance")
+              e.Diff.e_path)
+          failures;
+        1
+      end
+      else 0
+
+let compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline artifact (BENCH_*.json or DIAG_*.json).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Artifact to compare against $(i,OLD).")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tolerance" ] ~docv:"FRACTION"
+          ~doc:
+            "Relative tolerance for timing metrics (default 0.25 = +/-25%). \
+             Deterministic metrics always require exact equality.")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:"Exit non-zero when any deterministic metric drifted.")
+  in
+  let gate_timing_arg =
+    Arg.(
+      value & flag
+      & info [ "gate-timing" ]
+          ~doc:
+            "With $(b,--gate), also fail on timing metrics beyond the \
+             tolerance (off by default: wall-clock measures the machine as \
+             much as the code).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the olayout-compare/v1 JSON artifact to $(docv).")
+  in
+  let fidelity_arg =
+    Arg.(
+      value & flag
+      & info [ "fidelity" ]
+          ~doc:
+            "Score the new artifact against the paper's headline claims and \
+             include the scoreboard in the output.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two run artifacts: deterministic metrics (simulation counters) \
+          gate on exact equality, timing metrics on a relative tolerance.")
+    Term.(
+      const compare_artifacts $ old_arg $ new_arg $ tolerance_arg $ gate_arg
+      $ gate_timing_arg $ out_arg $ fidelity_arg)
+
+(* --- chrome-trace: telemetry JSONL -> trace-event JSON --- *)
+
+let chrome_trace src dst =
+  let module Chrome_trace = Olayout_regress.Chrome_trace in
+  match Chrome_trace.convert ~src ~dst with
+  | () ->
+      Format.printf
+        "chrome trace written to %s (open in https://ui.perfetto.dev or \
+         chrome://tracing)@."
+        dst;
+      0
+  | exception Chrome_trace.Convert_error msg ->
+      Printf.eprintf "olayout: chrome-trace: %s\n" msg;
+      1
+
+let chrome_trace_cmd =
+  let src_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JSONL"
+          ~doc:
+            "Telemetry JSONL stream (written by $(b,report --telemetry-out) \
+             or $(b,bench --telemetry-out)).")
+  in
+  let dst_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace-event file.")
+  in
+  Cmd.v
+    (Cmd.info "chrome-trace"
+       ~doc:
+         "Convert a telemetry JSONL stream into a Chrome trace-event file: one \
+          track per figure phase, counter tracks for watched instruments.")
+    Term.(const chrome_trace $ src_arg $ dst_arg)
+
 let () =
   let doc = "code layout optimizations for transaction processing workloads" in
   exit
@@ -457,5 +603,5 @@ let () =
        (Cmd.group (Cmd.info "olayout" ~doc)
           [
             inspect_cmd; profile_cmd; disasm_cmd; optimize_cmd; simulate_cmd; trace_cmd;
-            diagnose_cmd; report_cmd;
+            diagnose_cmd; report_cmd; compare_cmd; chrome_trace_cmd;
           ]))

@@ -2,6 +2,7 @@ module Icache = Olayout_cachesim.Icache
 module Battery = Olayout_cachesim.Battery
 module Run = Olayout_exec.Run
 module Spike = Olayout_core.Spike
+module Telemetry = Olayout_telemetry.Telemetry
 
 type result = { rows : (int * int * int * int * int) list }
 
@@ -27,12 +28,24 @@ let run ctx =
   let find battery size_kb assoc =
     Icache.misses (Battery.find battery (Icache.config ~size_kb ~line:128 ~assoc ()).Icache.name)
   in
-  {
-    rows =
-      List.map
-        (fun s -> (s, find b_base s 1, find b_base s 4, find b_opt s 1, find b_opt s 4))
-        sizes;
-  }
+  let r =
+    {
+      rows =
+        List.map
+          (fun s -> (s, find b_base s 1, find b_base s 4, find b_opt s 1, find b_opt s 4))
+          sizes;
+    }
+  in
+  (* Fidelity gauges at the 64 KB point: what 4-way buys the baseline
+     (paper: nothing - capacity dominates) vs what layout buys over even
+     the 4-way baseline. *)
+  let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  (match List.find_opt (fun (s, _, _, _, _) -> s = 64) r.rows with
+  | Some (_, b1, b4, o1, _) ->
+      Telemetry.set_gauge (Telemetry.gauge "fig.fig6.base_dm_vs_4way_64k") (ratio b1 b4);
+      Telemetry.set_gauge (Telemetry.gauge "fig.fig6.opt_dm_vs_base_4way_64k") (ratio o1 b4)
+  | None -> ());
+  r
 
 let tables r =
   let tbl =

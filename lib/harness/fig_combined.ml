@@ -2,6 +2,7 @@ module Icache = Olayout_cachesim.Icache
 module Battery = Olayout_cachesim.Battery
 module Run = Olayout_exec.Run
 module Spike = Olayout_core.Spike
+module Telemetry = Olayout_telemetry.Telemetry
 
 type side = {
   combined : (int * int) list;
@@ -62,11 +63,27 @@ let run ctx =
       cold = Icache.cold_misses c128;
     }
   in
-  {
-    kernel_isolated = per_size k_iso Icache.misses;
-    base = side b_comb b_app;
-    optimized = side o_comb o_app;
-  }
+  let r =
+    {
+      kernel_isolated = per_size k_iso Icache.misses;
+      base = side b_comb b_app;
+      optimized = side o_comb o_app;
+    }
+  in
+  (* Fidelity gauges: combined-stream optimized/base miss ratio at the
+     paper's 64-128 KB points (Fig 12's 45-60% reduction claim). *)
+  List.iter
+    (fun size_kb ->
+      let b = match List.assoc_opt size_kb r.base.combined with Some v -> v | None -> 0
+      and o =
+        match List.assoc_opt size_kb r.optimized.combined with Some v -> v | None -> 0
+      in
+      if b > 0 then
+        Telemetry.set_gauge
+          (Telemetry.gauge (Printf.sprintf "fig.fig12.opt_vs_base_%dk" size_kb))
+          (float_of_int o /. float_of_int b))
+    [ 64; 128 ];
+  r
 
 let lookup rows s = match List.assoc_opt s rows with Some v -> v | None -> 0
 

@@ -1,6 +1,14 @@
 module Machine = Olayout_perf.Machine
 module Timing = Olayout_perf.Timing
 module Spike = Olayout_core.Spike
+module Telemetry = Olayout_telemetry.Telemetry
+
+(* "21264 (64KB, 2-way)" -> "21264": gauge names keep the stable model id,
+   not the descriptive geometry suffix. *)
+let machine_slug name =
+  match String.index_opt name ' ' with
+  | Some i -> String.sub name 0 i
+  | None -> name
 
 type result = {
   machines : Machine.t list;
@@ -46,6 +54,20 @@ let run ctx =
         (m.Machine.name, cycles Spike.Base m /. cycles Spike.All m))
       machines
   in
+  (* Fidelity gauges: per-machine base->all speedup plus the spread across
+     machines (the paper's headline is the *consistency* across three
+     processor generations). *)
+  List.iter
+    (fun (name, speedup) ->
+      Telemetry.set_gauge
+        (Telemetry.gauge (Printf.sprintf "fig.fig15.speedup.%s" (machine_slug name)))
+        speedup)
+    speedups;
+  (match List.map snd speedups with
+  | [] -> ()
+  | s :: rest ->
+      let lo = List.fold_left min s rest and hi = List.fold_left max s rest in
+      Telemetry.set_gauge (Telemetry.gauge "fig.fig15.speedup_spread") (hi -. lo));
   { machines; rows; speedups }
 
 let tables r =

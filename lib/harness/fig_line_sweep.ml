@@ -2,6 +2,7 @@ module Icache = Olayout_cachesim.Icache
 module Battery = Olayout_cachesim.Battery
 module Run = Olayout_exec.Run
 module Spike = Olayout_core.Spike
+module Telemetry = Olayout_telemetry.Telemetry
 
 let cache_sizes_kb = [ 32; 64; 128; 256; 512 ]
 let line_sizes = [ 16; 32; 64; 128; 256 ]
@@ -28,6 +29,29 @@ let collect battery =
       (cfg.Icache.size_bytes / 1024, cfg.Icache.line_bytes, Icache.misses c))
     (Battery.caches battery)
 
+let misses rows ~size_kb ~line =
+  let rec go = function
+    | [] -> raise Not_found
+    | (s, l, m) :: _ when s = size_kb && l = line -> m
+    | _ :: rest -> go rest
+  in
+  go rows
+
+let ratio o b = if b = 0 then 0.0 else float_of_int o /. float_of_int b
+
+(* Headline ratios published as gauges: they reach the bench artifact's
+   [gauges] section, where the fidelity scoreboard checks them against the
+   paper's Fig 5 claim. *)
+let publish_gauges r =
+  List.iter
+    (fun size_kb ->
+      Telemetry.set_gauge
+        (Telemetry.gauge (Printf.sprintf "fig.fig4.opt_vs_base_%dk" size_kb))
+        (ratio
+           (misses r.optimized ~size_kb ~line:128)
+           (misses r.base ~size_kb ~line:128)))
+    [ 64; 128 ]
+
 let run ctx =
   let b_base = Battery.create configs and b_opt = Battery.create configs in
   let _result =
@@ -36,15 +60,9 @@ let run ctx =
         [ (Spike.Base, app_only b_base); (Spike.All, app_only b_opt) ]
       ()
   in
-  { base = collect b_base; optimized = collect b_opt }
-
-let misses rows ~size_kb ~line =
-  let rec go = function
-    | [] -> raise Not_found
-    | (s, l, m) :: _ when s = size_kb && l = line -> m
-    | _ :: rest -> go rest
-  in
-  go rows
+  let r = { base = collect b_base; optimized = collect b_opt } in
+  publish_gauges r;
+  r
 
 let grid_table ~title rows =
   let tbl =

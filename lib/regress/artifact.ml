@@ -1,0 +1,117 @@
+(* Loader for the machine-readable run artifacts (BENCH_*.json, schema
+   olayout-bench/v1, and DIAG_*.json, schema olayout-diag/v1): parse,
+   validate the schema tag, and flatten every numeric leaf into a
+   dot-joined metric path the diff engine can align across runs.
+
+   Identity fields (schema, scale, argv) are kept apart from the metric
+   map: two artifacts are compared by what they measured, and the identity
+   fields say whether that comparison is apples-to-apples (same scale,
+   same flag set).  generated_unix_time is deliberately dropped - wall
+   time never identifies a run. *)
+
+module Json = Olayout_telemetry.Json
+
+exception Load_error of string
+
+let known_schemas = [ "olayout-bench/v1"; "olayout-diag/v1" ]
+
+type t = {
+  path : string;  (** source file, or ["<memory>"] for {!of_json} *)
+  schema : string;
+  scale : string;
+  argv : string list;
+  metrics : (string * float) list;  (** flattened path -> value, sorted *)
+}
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Load_error msg)) fmt
+
+(* Keys of the top-level identity/meta fields: everything else flattens
+   into the metric map. *)
+let identity_keys = [ "schema"; "scale"; "generated_unix_time"; "argv" ]
+
+(* Array elements keyed by a naming field flatten under that name instead
+   of their index, so reordering (or adding) a figure or a span does not
+   shift every later element's metric path. *)
+let naming_keys = [ "id"; "pass"; "path"; "name" ]
+
+let element_key fields index =
+  let named =
+    List.find_map
+      (fun k ->
+        match List.assoc_opt k fields with Some (Json.String s) -> Some s | _ -> None)
+      naming_keys
+  in
+  match named with Some s -> s | None -> string_of_int index
+
+let flatten root =
+  let acc = ref [] in
+  let join prefix key = if prefix = "" then key else prefix ^ "." ^ key in
+  let rec go prefix = function
+    | Json.Int i -> acc := (prefix, float_of_int i) :: !acc
+    | Json.Float f -> acc := (prefix, f) :: !acc
+    | Json.Bool b -> acc := (prefix, if b then 1.0 else 0.0) :: !acc
+    (* Null (old artifacts' mruns_per_s) and strings (descriptions, names)
+       are not metrics. *)
+    | Json.Null | Json.String _ -> ()
+    | Json.Object fields ->
+        List.iter (fun (k, v) -> go (join prefix k) v) fields
+    | Json.Array items ->
+        List.iteri
+          (fun i item ->
+            let key =
+              match item with
+              | Json.Object fields -> element_key fields i
+              | _ -> string_of_int i
+            in
+            go (join prefix key) item)
+          items
+  in
+  (match root with
+  | Json.Object fields ->
+      List.iter
+        (fun (k, v) -> if not (List.mem k identity_keys) then go k v)
+        fields
+  | _ -> fail "artifact root is not a JSON object");
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+let string_field ~what j key =
+  match Json.member key j with
+  | Some (Json.String s) -> s
+  | Some _ -> fail "%s: field %S is not a string" what key
+  | None -> fail "%s: missing field %S" what key
+
+let of_json ?(path = "<memory>") j =
+  let schema = string_field ~what:path j "schema" in
+  if not (List.mem schema known_schemas) then begin
+    let base = List.hd (String.split_on_char '/' schema) in
+    if List.exists (fun k -> List.hd (String.split_on_char '/' k) = base) known_schemas
+    then
+      fail "%s: unsupported %s schema version %S (this build reads: %s)" path base
+        schema
+        (String.concat ", " known_schemas)
+    else
+      fail "%s: unknown artifact schema %S (expected one of: %s)" path schema
+        (String.concat ", " known_schemas)
+  end;
+  let scale =
+    match Json.member "scale" j with
+    | Some (Json.String s) -> s
+    | Some _ -> fail "%s: field \"scale\" is not a string" path
+    | None -> "?"
+  in
+  let argv =
+    match Json.member "argv" j with
+    | Some (Json.Array items) ->
+        List.filter_map (fun i -> Json.get_string i) items
+    | _ -> []
+  in
+  { path; schema; scale; argv; metrics = flatten j }
+
+let load_file path =
+  let j =
+    try Json.parse_file path
+    with Json.Parse_error msg -> fail "not a readable JSON artifact: %s" msg
+  in
+  of_json ~path j
+
+let metric t path = List.assoc_opt path t.metrics

@@ -1,0 +1,35 @@
+(** Loader for the run artifacts the telemetry layer writes
+    ([BENCH_<scale>.json], schema [olayout-bench/v1], and
+    [DIAG_<scale>.json], schema [olayout-diag/v1]).
+
+    Every numeric leaf of the document flattens into a dot-joined metric
+    path ([counters.cachesim.icache_misses],
+    [figures.fig4.runs_live], [diag.classification.conflict], ...).
+    Array elements carrying a naming field ([id], [pass], [path] or
+    [name]) are keyed by that name rather than their index, so element
+    order never shifts metric paths.  Nulls (old artifacts'
+    [mruns_per_s]) and strings are not metrics.
+
+    Identity fields — [schema], [scale], [argv] — are kept out of the
+    metric map: the diff engine compares measurements, and uses identity
+    to warn when two artifacts were not produced the same way.
+    [generated_unix_time] is dropped entirely. *)
+
+exception Load_error of string
+(** Raised with a descriptive message (file path included) on unreadable
+    files, malformed JSON, missing or unknown schema tags, and schema
+    version mismatches. *)
+
+val known_schemas : string list
+
+type t = {
+  path : string;  (** source file, or ["<memory>"] for {!of_json} *)
+  schema : string;
+  scale : string;
+  argv : string list;  (** empty for artifacts without an argv record *)
+  metrics : (string * float) list;  (** flattened path -> value, sorted *)
+}
+
+val of_json : ?path:string -> Olayout_telemetry.Json.t -> t
+val load_file : string -> t
+val metric : t -> string -> float option

@@ -1,0 +1,179 @@
+(* Chrome trace-event export: render a telemetry JSONL stream (the
+   {"ev":"span",...} / {"ev":"sample",...} lines Telemetry's sink writes)
+   as a traceEvents document loadable in Perfetto / chrome://tracing.
+
+   Layout: one track ("thread") per figure phase - the first
+   path component named report.<id>, or the root span otherwise - so the
+   per-figure timelines sit side by side; watched counters become
+   counter tracks ("ph":"C"), e.g. cumulative i-cache misses and the
+   trace-cache footprint over the run.  Timestamps are the telemetry
+   stream's process-relative seconds converted to microseconds. *)
+
+module Json = Olayout_telemetry.Json
+
+exception Convert_error of string
+
+let schema = "olayout-chrome-trace/v1"
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Convert_error msg)) fmt
+
+(* "bench.total/report.fig4/optimize" -> "report.fig4";
+   "bench.total/bench.setup" -> "bench.total". *)
+let phase_of_path path =
+  let components = String.split_on_char '/' path in
+  let is_figure c =
+    String.length c > 7 && String.sub c 0 7 = "report."
+  in
+  match List.find_opt is_figure components with
+  | Some c -> c
+  | None -> ( match components with c :: _ -> c | [] -> path)
+
+let us s = 1e6 *. s
+
+let of_events events =
+  (* Stable tids: first-seen order of phases, 1-based ("track 0" renders
+     oddly in some viewers). *)
+  let tids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let phases = ref [] in
+  let tid_of phase =
+    match Hashtbl.find_opt tids phase with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.length tids + 1 in
+        Hashtbl.add tids phase t;
+        phases := phase :: !phases;
+        t
+  in
+  let spans = ref [] and samples = ref [] in
+  List.iter
+    (fun ev ->
+      match Json.member "ev" ev with
+      | Some (Json.String "span") -> (
+          match
+            ( Json.member "name" ev, Json.member "path" ev,
+              Option.bind (Json.member "start_s" ev) Json.get_float,
+              Option.bind (Json.member "dur_s" ev) Json.get_float )
+          with
+          | Some (Json.String name), Some (Json.String path), Some start, Some dur ->
+              spans := (name, tid_of (phase_of_path path), start, dur) :: !spans
+          | _ -> fail "span event missing name/path/start_s/dur_s")
+      | Some (Json.String "sample") -> (
+          match
+            ( Json.member "name" ev,
+              Option.bind (Json.member "t_s" ev) Json.get_float,
+              Option.bind (Json.member "value" ev) Json.get_float )
+          with
+          | Some (Json.String name), Some t, Some v -> samples := (name, t, v) :: !samples
+          | _ -> fail "sample event missing name/t_s/value")
+      (* meta header and final registry dump events carry no timeline *)
+      | _ -> ())
+    events;
+  let span_events =
+    List.rev_map
+      (fun (name, tid, start, dur) ->
+        ( start,
+          Json.Object
+            [
+              ("name", Json.String name);
+              ("cat", Json.String "span");
+              ("ph", Json.String "X");
+              ("pid", Json.Int 1);
+              ("tid", Json.Int tid);
+              ("ts", Json.Float (us start));
+              ("dur", Json.Float (us dur));
+            ] ))
+      !spans
+  in
+  let counter_events =
+    List.rev_map
+      (fun (name, t, v) ->
+        ( t,
+          Json.Object
+            [
+              ("name", Json.String name);
+              ("cat", Json.String "counter");
+              ("ph", Json.String "C");
+              ("pid", Json.Int 1);
+              ("ts", Json.Float (us t));
+              ("args", Json.Object [ ("value", Json.Float v) ]);
+            ] ))
+      !samples
+  in
+  let timeline =
+    List.stable_sort
+      (fun (a, _) (b, _) -> compare a b)
+      (span_events @ counter_events)
+  in
+  let thread_metas =
+    List.concat_map
+      (fun phase ->
+        let tid = Hashtbl.find tids phase in
+        [
+          Json.Object
+            [
+              ("name", Json.String "thread_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int 1);
+              ("tid", Json.Int tid);
+              ("args", Json.Object [ ("name", Json.String phase) ]);
+            ];
+          Json.Object
+            [
+              ("name", Json.String "thread_sort_index");
+              ("ph", Json.String "M");
+              ("pid", Json.Int 1);
+              ("tid", Json.Int tid);
+              ("args", Json.Object [ ("sort_index", Json.Int tid) ]);
+            ];
+        ])
+      (List.rev !phases)
+  in
+  let process_meta =
+    Json.Object
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Object [ ("name", Json.String "olayout") ]);
+      ]
+  in
+  Json.Object
+    [
+      ( "traceEvents",
+        Json.Array ((process_meta :: thread_metas) @ List.map snd timeline) );
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", Json.Object [ ("schema", Json.String schema) ]);
+    ]
+
+let read_jsonl path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> fail "cannot open %s: %s" path msg
+  in
+  let events = ref [] and lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          if String.trim line <> "" then
+            match Json.parse line with
+            | ev -> events := ev :: !events
+            | exception Json.Parse_error msg ->
+                fail "%s:%d: invalid JSONL line (%s)" path !lineno msg
+        done
+      with End_of_file -> ());
+  List.rev !events
+
+let of_jsonl path = of_events (read_jsonl path)
+
+let convert ~src ~dst =
+  let doc = of_jsonl src in
+  let oc = open_out dst in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.output oc doc;
+      output_char oc '\n')

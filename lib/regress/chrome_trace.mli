@@ -1,0 +1,30 @@
+(** Chrome trace-event export: convert a telemetry JSONL stream (the
+    [{"ev":"span",...}] / [{"ev":"sample",...}] lines the {!Telemetry}
+    sink writes) into a [traceEvents] JSON document loadable in Perfetto
+    or [chrome://tracing].
+
+    Spans become complete ([ph:"X"]) events, one track per figure phase
+    (the first [report.<id>] path component); watched counter/gauge
+    samples become counter ([ph:"C"]) tracks — e.g. cumulative i-cache
+    misses and the trace-cache footprint over the run. *)
+
+exception Convert_error of string
+
+val schema : string
+(** ["olayout-chrome-trace/v1"], recorded under [otherData.schema]. *)
+
+val phase_of_path : string -> string
+(** Track key for a span path: the first [/]-separated component that
+    starts with ["report."], else the root component. *)
+
+val of_events : Olayout_telemetry.Json.t list -> Olayout_telemetry.Json.t
+(** Build the trace document from parsed JSONL events.  Raises
+    {!Convert_error} on a span/sample event missing required fields;
+    events with other (or no) ["ev"] tags are ignored. *)
+
+val of_jsonl : string -> Olayout_telemetry.Json.t
+(** [of_events] over a JSONL file.  Raises {!Convert_error} on I/O or
+    parse failure (with file/line context). *)
+
+val convert : src:string -> dst:string -> unit
+(** Read the JSONL at [src], write the trace document to [dst]. *)

@@ -1,0 +1,276 @@
+(* The baseline-diffing engine: align two flattened artifacts and classify
+   every metric as deterministic (simulation counters, run/instr
+   attribution, fidelity gauges - gated with exact equality: the
+   simulator is seeded and integer-only, so any drift is a code change)
+   or timing (wall seconds, throughput, GC activity - compared with a
+   relative tolerance and warn-only by default: they measure the machine
+   as much as the code).
+
+   Artifact identity (scale, argv) is compared separately and only ever
+   warns: comparing a --quick run against a full run is suspicious but
+   sometimes exactly what the user asked for. *)
+
+module Json = Olayout_telemetry.Json
+
+type klass = Deterministic | Timing
+
+type status =
+  | Equal  (** deterministic and identical *)
+  | Drift  (** deterministic and different: gate-worthy *)
+  | Within_tolerance
+  | Exceeds_tolerance
+  | Added  (** present only in the new artifact *)
+  | Removed  (** present only in the old artifact *)
+
+type entry = {
+  e_path : string;
+  e_class : klass;
+  e_old : float option;
+  e_new : float option;
+  e_status : status;
+}
+
+type t = {
+  tolerance : float;
+  old_art : Artifact.t;
+  new_art : Artifact.t;
+  entries : entry list;
+  identity_warnings : string list;
+}
+
+let default_tolerance = 0.25
+
+(* --- classification --------------------------------------------------- *)
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let timing_suffix path =
+  ends_with ~suffix:"seconds" path
+  || ends_with ~suffix:"_s" path
+  || ends_with ~suffix:"per_s" path
+
+(* Span paths contain '.' and '/' freely, so classification keys off the
+   first dot-segment plus the leaf suffix - never a full split. *)
+let classify path =
+  let head = match String.index_opt path '.' with
+    | Some i -> String.sub path 0 i
+    | None -> path
+  in
+  match head with
+  | "total_seconds" -> Timing
+  | "gc" -> Timing  (* allocation totals vary with runtime version/params *)
+  | "counters" -> Deterministic
+  | "figures" ->
+      if ends_with ~suffix:"seconds" path || ends_with ~suffix:"mruns_per_s" path
+      then Timing
+      else Deterministic
+  | "spans" | "passes" -> if ends_with ~suffix:"count" path then Deterministic else Timing
+  | "trace_cache" -> if timing_suffix path then Timing else Deterministic
+  | "gauges" -> if timing_suffix path then Timing else Deterministic
+  | _ -> if timing_suffix path then Timing else Deterministic
+
+(* --- comparison ------------------------------------------------------- *)
+
+let status_of ~tolerance klass old_v new_v =
+  match klass with
+  | Deterministic -> if old_v = new_v then Equal else Drift
+  | Timing ->
+      if old_v = new_v then Within_tolerance
+      else if old_v = 0.0 then Exceeds_tolerance
+      else if abs_float (new_v -. old_v) /. abs_float old_v <= tolerance then
+        Within_tolerance
+      else Exceeds_tolerance
+
+let identity_warnings (old_art : Artifact.t) (new_art : Artifact.t) =
+  let w = ref [] in
+  if old_art.Artifact.scale <> new_art.Artifact.scale then
+    w :=
+      Printf.sprintf
+        "scale differs (%s vs %s): absolute counts are not comparable across scales"
+        old_art.Artifact.scale new_art.Artifact.scale
+      :: !w;
+  (* argv.(0) is the binary path - machine-specific, not identity. *)
+  let flags a = match a.Artifact.argv with [] -> [] | _ :: rest -> rest in
+  if flags old_art <> flags new_art && (old_art.Artifact.argv <> [] || new_art.Artifact.argv <> [])
+  then
+    w :=
+      Printf.sprintf "flag sets differ (old: %s; new: %s)"
+        (match flags old_art with [] -> "<none>" | f -> String.concat " " f)
+        (match flags new_art with [] -> "<none>" | f -> String.concat " " f)
+      :: !w;
+  List.rev !w
+
+let compare_artifacts ?(tolerance = default_tolerance) ~old_art ~new_art () =
+  if old_art.Artifact.schema <> new_art.Artifact.schema then
+    raise
+      (Artifact.Load_error
+         (Printf.sprintf "cannot compare %s (%s) against %s (%s): different schemas"
+            old_art.Artifact.path old_art.Artifact.schema new_art.Artifact.path
+            new_art.Artifact.schema));
+  (* Merge-join over the two sorted metric lists. *)
+  let rec merge acc olds news =
+    match (olds, news) with
+    | [], [] -> List.rev acc
+    | (p, v) :: olds', [] ->
+        merge
+          ({ e_path = p; e_class = classify p; e_old = Some v; e_new = None;
+             e_status = Removed }
+          :: acc)
+          olds' []
+    | [], (p, v) :: news' ->
+        merge
+          ({ e_path = p; e_class = classify p; e_old = None; e_new = Some v;
+             e_status = Added }
+          :: acc)
+          [] news'
+    | (po, vo) :: olds', (pn, vn) :: news' ->
+        if po = pn then
+          let klass = classify po in
+          merge
+            ({ e_path = po; e_class = klass; e_old = Some vo; e_new = Some vn;
+               e_status = status_of ~tolerance klass vo vn }
+            :: acc)
+            olds' news'
+        else if po < pn then
+          merge
+            ({ e_path = po; e_class = classify po; e_old = Some vo; e_new = None;
+               e_status = Removed }
+            :: acc)
+            olds' news
+        else
+          merge
+            ({ e_path = pn; e_class = classify pn; e_old = None; e_new = Some vn;
+               e_status = Added }
+            :: acc)
+            olds news'
+  in
+  {
+    tolerance;
+    old_art;
+    new_art;
+    entries = merge [] old_art.Artifact.metrics new_art.Artifact.metrics;
+    identity_warnings = identity_warnings old_art new_art;
+  }
+
+let with_status st t = List.filter (fun e -> e.e_status = st) t.entries
+
+let gate_failures ?(timing = false) t =
+  List.filter
+    (fun e -> e.e_status = Drift || (timing && e.e_status = Exceeds_tolerance))
+    t.entries
+
+(* --- rendering -------------------------------------------------------- *)
+
+let schema = "olayout-compare/v1"
+
+let status_name = function
+  | Equal -> "equal"
+  | Drift -> "drift"
+  | Within_tolerance -> "within_tolerance"
+  | Exceeds_tolerance -> "exceeds_tolerance"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let class_name = function Deterministic -> "deterministic" | Timing -> "timing"
+
+let count t st = List.length (with_status st t)
+
+let side_json (a : Artifact.t) =
+  Json.Object
+    [
+      ("path", Json.String a.Artifact.path);
+      ("schema", Json.String a.Artifact.schema);
+      ("scale", Json.String a.Artifact.scale);
+      ("argv", Json.Array (List.map (fun s -> Json.String s) a.Artifact.argv));
+    ]
+
+let opt_num = function Some v -> Json.Float v | None -> Json.Null
+
+(* The artifact records only the interesting entries (everything except
+   Equal/Within_tolerance) in full; the matching bulk is summarised by the
+   counts, which keeps COMPARE files readable next to their inputs. *)
+let to_json ?fidelity ?(gated = false) ?(gate_failed = false) t =
+  let interesting =
+    List.filter
+      (fun e -> match e.e_status with Equal | Within_tolerance -> false | _ -> true)
+      t.entries
+  in
+  Json.Object
+    ([
+       ("schema", Json.String schema);
+       ("tolerance", Json.Float t.tolerance);
+       ("old", side_json t.old_art);
+       ("new", side_json t.new_art);
+       ( "identity_warnings",
+         Json.Array (List.map (fun w -> Json.String w) t.identity_warnings) );
+       ( "summary",
+         Json.Object
+           [
+             ("deterministic_equal", Json.Int (count t Equal));
+             ("deterministic_drift", Json.Int (count t Drift));
+             ("timing_within_tolerance", Json.Int (count t Within_tolerance));
+             ("timing_exceeds_tolerance", Json.Int (count t Exceeds_tolerance));
+             ("added", Json.Int (count t Added));
+             ("removed", Json.Int (count t Removed));
+           ] );
+       ( "gate",
+         Json.Object
+           [ ("enabled", Json.Bool gated); ("failed", Json.Bool gate_failed) ] );
+       ( "metrics",
+         Json.Array
+           (List.map
+              (fun e ->
+                Json.Object
+                  [
+                    ("path", Json.String e.e_path);
+                    ("class", Json.String (class_name e.e_class));
+                    ("old", opt_num e.e_old);
+                    ("new", opt_num e.e_new);
+                    ("status", Json.String (status_name e.e_status));
+                  ])
+              interesting) );
+     ]
+    @ match fidelity with Some f -> [ ("fidelity", Fidelity.to_json f) ] | None -> [])
+
+let fmt_value v =
+  if Float.is_integer v && abs_float v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let fmt_delta e =
+  match (e.e_old, e.e_new) with
+  | Some o, Some n ->
+      let d = n -. o in
+      if o <> 0.0 then Printf.sprintf "%+.6g (%+.1f%%)" d (100.0 *. d /. abs_float o)
+      else Printf.sprintf "%+.6g" d
+  | _ -> "-"
+
+let pp ppf t =
+  Format.fprintf ppf "@.### compare: %s -> %s@." t.old_art.Artifact.path
+    t.new_art.Artifact.path;
+  List.iter (fun w -> Format.fprintf ppf "  warning: %s@." w) t.identity_warnings;
+  let interesting =
+    List.filter
+      (fun e -> match e.e_status with Equal | Within_tolerance -> false | _ -> true)
+      t.entries
+  in
+  if interesting <> [] then begin
+    Format.fprintf ppf "%-52s %-13s %14s %14s %22s  %s@." "metric" "class" "old"
+      "new" "delta" "status";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "%-52s %-13s %14s %14s %22s  %s@." e.e_path
+          (class_name e.e_class)
+          (match e.e_old with Some v -> fmt_value v | None -> "-")
+          (match e.e_new with Some v -> fmt_value v | None -> "-")
+          (fmt_delta e) (status_name e.e_status))
+      interesting
+  end;
+  Format.fprintf ppf
+    "compare: %d deterministic equal, %d drifted; %d timing within +/-%.0f%%, %d \
+     beyond; %d added, %d removed@."
+    (count t Equal) (count t Drift) (count t Within_tolerance)
+    (100.0 *. t.tolerance) (count t Exceeds_tolerance) (count t Added)
+    (count t Removed)

@@ -1,0 +1,71 @@
+(** Baseline diff engine over flattened artifacts ({!Artifact}).
+
+    Every aligned metric is classified:
+
+    - {b deterministic} — simulation counters, run/instruction
+      attribution, trace-cache footprint, [fig.*]/[fidelity.*] gauges,
+      span and pass counts, diag classification totals.  The pipeline is
+      seeded and integer-only, so these are gated with {e exact}
+      equality: any drift is a behaviour change.
+    - {b timing} — wall seconds, throughput ([mruns_per_s]), GC
+      statistics, span durations.  Compared with a relative tolerance
+      and warn-only by default.
+
+    Metrics present on only one side report as added/removed (warn-only:
+    schemas grow).  Identity fields ([scale], the argv flag set) are
+    compared separately and only ever warn. *)
+
+type klass = Deterministic | Timing
+
+type status =
+  | Equal  (** deterministic and identical *)
+  | Drift  (** deterministic and different: gate-worthy *)
+  | Within_tolerance
+  | Exceeds_tolerance
+  | Added  (** present only in the new artifact *)
+  | Removed  (** present only in the old artifact *)
+
+type entry = {
+  e_path : string;
+  e_class : klass;
+  e_old : float option;
+  e_new : float option;
+  e_status : status;
+}
+
+type t = {
+  tolerance : float;
+  old_art : Artifact.t;
+  new_art : Artifact.t;
+  entries : entry list;  (** every aligned metric, sorted by path *)
+  identity_warnings : string list;
+}
+
+val default_tolerance : float
+(** 0.25 (25% relative). *)
+
+val classify : string -> klass
+(** Classification by metric path (first dot-segment plus leaf suffix). *)
+
+val compare_artifacts :
+  ?tolerance:float -> old_art:Artifact.t -> new_art:Artifact.t -> unit -> t
+(** Raises {!Artifact.Load_error} when the two artifacts have different
+    schemas (a bench run cannot be diffed against a diag run). *)
+
+val gate_failures : ?timing:bool -> t -> entry list
+(** The entries that fail a [--gate] run: deterministic {!Drift}, plus
+    {!Exceeds_tolerance} when [timing] is set. *)
+
+val schema : string
+(** ["olayout-compare/v1"]. *)
+
+val to_json :
+  ?fidelity:Fidelity.report -> ?gated:bool -> ?gate_failed:bool -> t ->
+  Olayout_telemetry.Json.t
+(** The [olayout-compare/v1] document: identity of both sides, summary
+    counts, every non-matching metric, and (when given) the fidelity
+    scoreboard of the new run. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned console table of the non-matching metrics plus a summary
+    line. *)

@@ -1,0 +1,45 @@
+(** Reproduction-fidelity scoreboard: the paper's headline figure claims
+    (Figs 4-5, 6, 7, 12, 15; targets from EXPERIMENTS.md) encoded as
+    checked bands over the [fig.*] gauges the harness figures publish.
+
+    Each claim names a gauge metric, the paper's point value, and an
+    accepted band (wide enough for both quick and full scale — see the
+    calibration note in the implementation).  Scoring against a run
+    yields pass/fail/skipped per claim (skipped when the figure did not
+    run, so the gauge does not exist). *)
+
+type claim = {
+  claim_id : string;
+  figure : string;
+  metric : string;  (** gauge name; [gauges.<metric>] in a bench artifact *)
+  description : string;
+  paper : float;  (** the paper's point value for the metric *)
+  lo : float;
+  hi : float;
+}
+
+type status = Pass | Fail | Skipped
+
+type scored = { claim : claim; measured : float option; status : status }
+
+type report = { scored : scored list; passed : int; failed : int; skipped : int }
+
+val claims : claim list
+
+val evaluate : lookup:(string -> float option) -> report
+(** Score every claim against [lookup] (metric name -> measured value). *)
+
+val of_artifact : Artifact.t -> report
+(** Score against a loaded bench artifact's [gauges] section. *)
+
+val of_registry : unit -> report
+(** Score against the live telemetry registry (end of a bench run). *)
+
+val publish_gauges : report -> unit
+(** Set [fidelity.<claim>] (1 pass / 0 fail) plus
+    [fidelity.claims_passed]/[fidelity.claims_failed] gauges, so the
+    scoreboard snapshots into the bench artifact as deterministic
+    metrics. *)
+
+val to_json : report -> Olayout_telemetry.Json.t
+val pp : Format.formatter -> report -> unit

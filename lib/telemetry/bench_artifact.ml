@@ -18,24 +18,31 @@ type figure = {
 
 let schema = "olayout-bench/v1"
 
+(* Figures with zero runs (or a zero-duration clock) omit the field
+   entirely: a null would make every downstream consumer special-case a
+   non-value, and standard JSON tooling treats absent and null
+   differently.  The compare loader stays tolerant of old artifacts that
+   still carry the null. *)
 let mruns_per_s runs seconds =
-  if seconds <= 0.0 || runs = 0 then Json.Null
-  else Json.Float (float_of_int runs /. seconds /. 1e6)
+  if seconds <= 0.0 || runs = 0 then None
+  else Some (Json.Float (float_of_int runs /. seconds /. 1e6))
+
+let opt_field name = function Some v -> [ (name, v) ] | None -> []
 
 let figure_json f =
   Json.Object
-    [
-      ("id", Json.String f.id);
-      ("desc", Json.String f.desc);
-      ("seconds", Json.Float f.seconds);
-      ("runs_live", Json.Int f.runs_live);
-      ("runs_replayed", Json.Int f.runs_replayed);
-      ("instrs_live", Json.Int f.instrs_live);
-      ("instrs_replayed", Json.Int f.instrs_replayed);
-      ("live_executions", Json.Int f.live_executions);
-      ("traces_replayed", Json.Int f.traces_replayed);
-      ("mruns_per_s", mruns_per_s (f.runs_live + f.runs_replayed) f.seconds);
-    ]
+    ([
+       ("id", Json.String f.id);
+       ("desc", Json.String f.desc);
+       ("seconds", Json.Float f.seconds);
+       ("runs_live", Json.Int f.runs_live);
+       ("runs_replayed", Json.Int f.runs_replayed);
+       ("instrs_live", Json.Int f.instrs_live);
+       ("instrs_replayed", Json.Int f.instrs_replayed);
+       ("live_executions", Json.Int f.live_executions);
+       ("traces_replayed", Json.Int f.traces_replayed);
+     ]
+    @ opt_field "mruns_per_s" (mruns_per_s (f.runs_live + f.runs_replayed) f.seconds))
 
 let gc_json () =
   let s = Gc.quick_stat () in
@@ -108,15 +115,15 @@ let json ~scale ~total_seconds ~trace_cache_bytes ~figures =
       ("figures", Json.Array (List.map figure_json figures));
       ( "trace_cache",
         Json.Object
-          [
-            ("bytes", Json.Int trace_cache_bytes);
-            ("traces_recorded", Json.Int (counter_value "context.traces_recorded"));
-            ("hits", Json.Int (counter_value "context.traces_replayed"));
-            ("runs_replayed", Json.Int replayed_runs);
-            ("instrs_replayed", Json.Int (counter_value "context.replayed_instrs"));
-            ("replay_seconds", Json.Float replay_seconds);
-            ("replay_mruns_per_s", mruns_per_s replayed_runs replay_seconds);
-          ] );
+          ([
+             ("bytes", Json.Int trace_cache_bytes);
+             ("traces_recorded", Json.Int (counter_value "context.traces_recorded"));
+             ("hits", Json.Int (counter_value "context.traces_replayed"));
+             ("runs_replayed", Json.Int replayed_runs);
+             ("instrs_replayed", Json.Int (counter_value "context.replayed_instrs"));
+             ("replay_seconds", Json.Float replay_seconds);
+           ]
+          @ opt_field "replay_mruns_per_s" (mruns_per_s replayed_runs replay_seconds)) );
       ( "counters",
         Json.Object (List.map (fun (n, v) -> (n, Json.Int v)) (Telemetry.counters ())) );
       ( "gauges",

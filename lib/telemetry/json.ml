@@ -68,3 +68,191 @@ let to_string j =
   Buffer.contents buf
 
 let output oc j = Stdlib.output_string oc (to_string j)
+
+(* --- decoder ---------------------------------------------------------- *)
+
+(* Started as the validating reader in test/helpers.ml; promoted here once
+   the regression tooling needed to read artifacts back in production code.
+   Strict (no trailing garbage, no unknown escapes) with positional
+   errors - a truncated or hand-edited artifact should say where it
+   broke, not produce a half-parsed document. *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail (Printf.sprintf "bad literal (expected %s)" lit)
+  in
+  let utf8_of_code buf u =
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let u =
+                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              in
+              utf8_of_code buf u
+          | _ -> fail "bad escape");
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  (* Integral lexemes (no fraction, no exponent) decode as Int so that
+     counters survive a write/parse round trip exactly; everything else is
+     Float. *)
+  let parse_number () =
+    let start = !pos in
+    let integral = ref true in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' -> true
+         | '.' | 'e' | 'E' ->
+             integral := false;
+             true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    let lexeme = String.sub s start (!pos - start) in
+    if !integral then
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> (
+          (* out of int range: fall back to float *)
+          match float_of_string_opt lexeme with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" lexeme))
+    else
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" lexeme)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Object [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Object (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Array [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Array (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> raise (Parse_error (Printf.sprintf "cannot open %s: %s" path msg))
+  in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  try parse raw
+  with Parse_error msg -> raise (Parse_error (Printf.sprintf "%s: %s" path msg))
+
+(* --- accessors -------------------------------------------------------- *)
+
+let member key = function Object fields -> List.assoc_opt key fields | _ -> None
+let get_string = function String s -> Some s | _ -> None
+let get_int = function Int i -> Some i | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let get_list = function Array items -> Some items | _ -> None
+let get_fields = function Object fields -> Some fields | _ -> None

@@ -106,6 +106,48 @@ let jsonl_emit j =
       Json.output oc j;
       output_char oc '\n'
 
+(* --- watched instruments --------------------------------------------- *)
+
+(* Counters and gauges named here are sampled into the JSONL stream at
+   every span completion ({"ev":"sample",...} lines), giving external
+   viewers (the Chrome-trace export) a value-over-time track instead of
+   only the final registry dump. *)
+
+let watched_counters : counter list ref = ref []
+let watched_gauges : gauge list ref = ref []
+
+let watch_counter c =
+  if not (List.memq c !watched_counters) then watched_counters := !watched_counters @ [ c ]
+
+let watch_gauge g =
+  if not (List.memq g !watched_gauges) then watched_gauges := !watched_gauges @ [ g ]
+
+let emit_samples t =
+  if !jsonl <> None then begin
+    List.iter
+      (fun c ->
+        jsonl_emit
+          (Json.Object
+             [
+               ("ev", Json.String "sample");
+               ("t_s", Json.Float t);
+               ("name", Json.String c.c_name);
+               ("value", Json.Int c.c_value);
+             ]))
+      !watched_counters;
+    List.iter
+      (fun g ->
+        jsonl_emit
+          (Json.Object
+             [
+               ("ev", Json.String "sample");
+               ("t_s", Json.Float t);
+               ("name", Json.String g.g_name);
+               ("value", Json.Float g.g_value);
+             ]))
+      !watched_gauges
+  end
+
 (* --- spans ----------------------------------------------------------- *)
 
 type span_agg = { mutable a_count : int; mutable a_total : float; mutable a_max : float }
@@ -154,7 +196,8 @@ let record_span ~path ~name ~depth ~start ~dur =
          ("depth", Json.Int depth);
          ("start_s", Json.Float start);
          ("dur_s", Json.Float dur);
-       ])
+       ]);
+  emit_samples (start +. dur)
 
 let timed name f =
   if not !enabled_flag then begin

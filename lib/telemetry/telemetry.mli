@@ -98,6 +98,16 @@ val reset : unit -> unit
 (** Zero every registered instrument and drop span aggregates.  Handles
     stay valid (they are zeroed in place, not removed). *)
 
+(** {1 Watched instruments}
+
+    Counters and gauges registered here are sampled into an attached JSONL
+    sink at every span completion as [{"ev":"sample","t_s":...,"name":...,
+    "value":...}] lines — the value-over-time stream behind the Chrome
+    trace export's counter tracks.  No-ops while no sink is attached. *)
+
+val watch_counter : counter -> unit
+val watch_gauge : gauge -> unit
+
 (** {1 Sinks} *)
 
 val open_jsonl_file : string -> unit

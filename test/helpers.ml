@@ -113,8 +113,13 @@ let uniform_profile prog c =
       done);
   profile
 
-(* --- minimal JSON reader (validating telemetry output without adding a
-   JSON dependency; strict enough for what our writer emits) --- *)
+(* --- JSON reading for artifact-validating tests ---
+
+   The parser itself was promoted into Olayout_telemetry.Json (the
+   regression tooling needed it in production); the float-only view type
+   below keeps the older suites' pattern matches readable. *)
+
+module Json = Olayout_telemetry.Json
 
 type json =
   | Jnull
@@ -126,139 +131,19 @@ type json =
 
 exception Json_error of string
 
+let rec json_of_t = function
+  | Json.Null -> Jnull
+  | Json.Bool b -> Jbool b
+  | Json.Int i -> Jnum (float_of_int i)
+  | Json.Float f -> Jnum f
+  | Json.String s -> Jstr s
+  | Json.Array items -> Jarr (List.map json_of_t items)
+  | Json.Object fields -> Jobj (List.map (fun (k, v) -> (k, json_of_t v)) fields)
+
 let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      advance ()
-    done
-  in
-  let expect c =
-    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
-  in
-  let literal lit v =
-    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
-    then begin
-      pos := !pos + String.length lit;
-      v
-    end
-    else fail ("bad literal " ^ lit)
-  in
-  let utf8_of_code buf u =
-    if u < 0x80 then Buffer.add_char buf (Char.chr u)
-    else if u < 0x800 then begin
-      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
-      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
-    end
-    else begin
-      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
-      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
-      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
-    end
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-          advance ();
-          (match peek () with
-          | Some '"' -> Buffer.add_char buf '"'; advance ()
-          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
-          | Some '/' -> Buffer.add_char buf '/'; advance ()
-          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
-          | Some 't' -> Buffer.add_char buf '\t'; advance ()
-          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
-          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
-          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              pos := !pos + 4;
-              let u =
-                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
-              in
-              utf8_of_code buf u
-          | _ -> fail "bad escape");
-          go ()
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    while
-      !pos < n
-      && (match s.[!pos] with
-         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-         | _ -> false)
-    do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> Jnum f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin advance (); Jobj [] end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); members ((k, v) :: acc)
-            | Some '}' -> advance (); Jobj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          members []
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin advance (); Jarr [] end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); elements (v :: acc)
-            | Some ']' -> advance (); Jarr (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          elements []
-        end
-    | Some '"' -> Jstr (parse_string ())
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some _ -> parse_number ()
-    | None -> fail "empty input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+  match Json.parse s with
+  | v -> json_of_t v
+  | exception Json.Parse_error msg -> raise (Json_error msg)
 
 let jmem key = function Jobj members -> List.assoc_opt key members | _ -> None
 

@@ -19,5 +19,6 @@ let () =
       Test_perf.suite;
       Test_harness.suite;
       Test_telemetry.suite;
+      Test_regress.suite;
       Test_properties.suite;
     ]
