@@ -14,7 +14,9 @@
      dune exec bench/main.exe -- --telemetry-summary   # span/counter console dump
      dune exec bench/main.exe -- --baseline FILE       # diff against a saved artifact
      dune exec bench/main.exe -- --baseline FILE --gate  # exit non-zero on drift
-     dune exec bench/main.exe -- --chrome-trace FILE   # Perfetto-loadable trace *)
+     dune exec bench/main.exe -- --chrome-trace FILE   # Perfetto-loadable trace
+     dune exec bench/main.exe -- -j 4                  # parallel figure schedule
+     dune exec bench/main.exe -- --retain-mb 256       # bound trace-cache residency *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -30,6 +32,7 @@ module Artifact = Olayout_regress.Artifact
 module Diff = Olayout_regress.Diff
 module Fidelity = Olayout_regress.Fidelity
 module Chrome_trace = Olayout_regress.Chrome_trace
+module Pool = Olayout_par.Pool
 
 type options = {
   quick : bool;
@@ -45,12 +48,16 @@ type options = {
   tolerance : float option;
   compare_out : string option;
   chrome_trace : string option;
+  jobs : int option;  (* None = serial; Some 0 = auto (recommended count) *)
+  retain_mb : int option;
+  bench_json_out : string option;
 }
 
 let flag_summary =
   "--quick, --no-micro, --trace-stats, --bench-json, --diagnose, \
    --telemetry-summary, --only IDS, --telemetry-out FILE, --baseline FILE, \
-   --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE"
+   --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE, \
+   -j/--jobs N|auto, --retain-mb MB, --bench-json-out FILE"
 
 let usage_error fmt =
   Printf.ksprintf
@@ -68,6 +75,7 @@ let parse_args () =
   let baseline = ref None and gate = ref false in
   let tolerance = ref None and compare_out = ref None in
   let chrome_trace = ref None in
+  let jobs = ref None and retain_mb = ref None and bench_json_out = ref None in
   let missing opt expected =
     usage_error "option %s requires an argument: %s" opt expected
   in
@@ -106,6 +114,12 @@ let parse_args () =
     | [ "--compare-out" ] -> missing "--compare-out" "a JSON output path"
     | [ "--chrome-trace" ] ->
         missing "--chrome-trace" "a trace-event JSON output path"
+    | [ "-j" ] | [ "--jobs" ] ->
+        missing "-j/--jobs" "a positive domain count, or \"auto\""
+    | [ "--retain-mb" ] ->
+        missing "--retain-mb" "a trace-cache residency bound in MiB"
+    | [ "--bench-json-out" ] ->
+        missing "--bench-json-out" "a JSON output path (implies --bench-json)"
     | "--only" :: ids :: rest ->
         only := Some (String.split_on_char ',' ids);
         go rest
@@ -130,6 +144,26 @@ let parse_args () =
     | "--chrome-trace" :: path :: rest ->
         chrome_trace := Some path;
         go rest
+    | ("-j" | "--jobs") :: n :: rest ->
+        (match n with
+        | "auto" -> jobs := Some 0
+        | _ -> (
+            match int_of_string_opt n with
+            | Some j when j >= 1 -> jobs := Some j
+            | Some _ | None ->
+                usage_error
+                  "-j/--jobs expects a positive domain count or \"auto\", got %S"
+                  n));
+        go rest
+    | "--retain-mb" :: mb :: rest ->
+        (match int_of_string_opt mb with
+        | Some m when m >= 0 -> retain_mb := Some m
+        | Some _ | None ->
+            usage_error "--retain-mb expects a non-negative MiB count, got %S" mb);
+        go rest
+    | "--bench-json-out" :: path :: rest ->
+        bench_json_out := Some path;
+        go rest
     | arg :: _ ->
         usage_error "unknown argument %s (accepted: %s)" arg flag_summary
   in
@@ -152,6 +186,9 @@ let parse_args () =
     tolerance = !tolerance;
     compare_out = !compare_out;
     chrome_trace = !chrome_trace;
+    jobs = !jobs;
+    retain_mb = !retain_mb;
+    bench_json_out = !bench_json_out;
   }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
@@ -273,26 +310,40 @@ let () =
   Format.printf
     "olayout bench: reproducing Ramirez et al., ISCA 2001 (%s scale)@."
     scale_name;
+  let pool =
+    match opts.jobs with
+    | None | Some 1 -> None
+    | Some 0 -> Some (Pool.create ())
+    | Some j -> Some (Pool.create ~jobs:j ())
+  in
+  Option.iter
+    (fun p -> Format.printf "parallel schedule: %d domains@." (Pool.jobs p))
+    pool;
   let (ctx, figures), total_seconds =
-    Telemetry.timed "bench.total" (fun () ->
-        let ctx, setup_seconds =
-          Telemetry.timed "bench.setup" (fun () -> Context.create ~scale ())
-        in
-        Format.printf "workload built and profiled in %.1fs@." setup_seconds;
-        let selection =
-          match opts.only with None -> Report.All | Some ids -> Report.Only ids
-        in
-        let figures =
-          try
-            Report.run ~selection ~trace_stats:opts.trace_stats ctx
-              Format.std_formatter
-          with Invalid_argument msg ->
-            (* Report's message names the invalid id and lists the valid ones. *)
-            Printf.eprintf "bench: --only: %s\n" msg;
-            exit 2
-        in
-        if opts.micro then Telemetry.span "bench.micro" (fun () -> microbench ctx);
-        (ctx, figures))
+    Fun.protect
+      ~finally:(fun () -> Option.iter Pool.shutdown pool)
+      (fun () ->
+        Telemetry.timed "bench.total" (fun () ->
+            let ctx, setup_seconds =
+              Telemetry.timed "bench.setup" (fun () -> Context.create ~scale ())
+            in
+            Format.printf "workload built and profiled in %.1fs@." setup_seconds;
+            let selection =
+              match opts.only with None -> Report.All | Some ids -> Report.Only ids
+            in
+            let figures =
+              try
+                Report.run ~selection ~trace_stats:opts.trace_stats ?pool
+                  ?retain_mb:opts.retain_mb ctx Format.std_formatter
+              with Invalid_argument msg ->
+                (* Report's message names the invalid id and lists the valid
+                   ones. *)
+                Printf.eprintf "bench: --only: %s\n" msg;
+                exit 2
+            in
+            if opts.micro then
+              Telemetry.span "bench.micro" (fun () -> microbench ctx);
+            (ctx, figures)))
   in
   Format.printf "@.bench total: %.1fs@." total_seconds;
   (* Score the paper's claims before any artifact snapshot, so the
@@ -301,7 +352,8 @@ let () =
   Fidelity.publish_gauges fidelity;
   Format.printf "%a" Fidelity.pp fidelity;
   let artifact_path = ref None in
-  if opts.bench_json || opts.baseline <> None then begin
+  if opts.bench_json || opts.bench_json_out <> None || opts.baseline <> None
+  then begin
     let stats = Context.trace_stats ctx in
     let figures =
       List.map
@@ -319,7 +371,11 @@ let () =
           })
         figures
     in
-    let path = Bench_artifact.default_path ~scale:scale_name in
+    let path =
+      match opts.bench_json_out with
+      | Some p -> p
+      | None -> Bench_artifact.default_path ~scale:scale_name
+    in
     Bench_artifact.write ~path ~scale:scale_name ~total_seconds
       ~trace_cache_bytes:stats.Context.trace_bytes ~figures;
     artifact_path := Some path;

@@ -393,18 +393,31 @@ let diagnose_cmd =
 
 (* --- report --- *)
 
-let report seed quick only trace_stats telemetry telemetry_out =
+let report seed quick only trace_stats telemetry telemetry_out jobs retain_mb =
   Option.iter Telemetry.open_jsonl_file telemetry_out;
   let scale = if quick then Context.Quick else Context.Full in
   let ctx = Context.create ~scale ~seed () in
   let selection = match only with [] -> Report.All | ids -> Report.Only ids in
+  let module Pool = Olayout_par.Pool in
+  let pool =
+    match jobs with
+    | None | Some 1 -> None
+    | Some 0 -> Some (Pool.create ())
+    | Some j -> Some (Pool.create ~jobs:j ())
+  in
   let code =
-    match Report.run ~selection ~trace_stats ctx Format.std_formatter with
-    | (_ : Report.figure_stat list) -> 0
-    | exception Invalid_argument msg ->
-        (* The message already lists the valid experiment ids. *)
-        Printf.eprintf "olayout: %s\n" msg;
-        1
+    Fun.protect
+      ~finally:(fun () -> Option.iter Pool.shutdown pool)
+      (fun () ->
+        match
+          Report.run ~selection ~trace_stats ?pool ?retain_mb ctx
+            Format.std_formatter
+        with
+        | (_ : Report.figure_stat list) -> 0
+        | exception Invalid_argument msg ->
+            (* The message already lists the valid experiment ids. *)
+            Printf.eprintf "olayout: %s\n" msg;
+            1)
   in
   if telemetry then Telemetry.pp_summary Format.std_formatter ();
   Telemetry.close_jsonl ();
@@ -446,11 +459,49 @@ let report_cmd =
             "Stream telemetry as JSONL to $(docv): one JSON object per span \
              completion, then a final registry dump.")
   in
+  let jobs_conv =
+    let parse s =
+      match s with
+      | "auto" -> Ok 0
+      | _ -> (
+          match int_of_string_opt s with
+          | Some j when j >= 1 -> Ok j
+          | Some _ | None ->
+              Error
+                (`Msg
+                  (Printf.sprintf
+                     "expected a positive domain count or \"auto\", got %S" s)))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf j ->
+          Format.pp_print_string ppf (if j = 0 then "auto" else string_of_int j) )
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some jobs_conv) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run replay-only figures on $(docv) domains (\"auto\" sizes by the \
+             machine).  Deterministic counters are identical to the serial \
+             run; only wall-clock and the par.* metrics change.")
+  in
+  let retain_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retain-mb" ] ~docv:"MB"
+          ~doc:
+            "Bound trace-cache residency: after each figure, drop recorded \
+             streams with no remaining consumer, largest first, while the \
+             cache exceeds $(docv) MiB.")
+  in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's figures.")
     Term.(
       const report $ seed_arg $ quick_arg $ only_arg $ trace_stats_arg
-      $ telemetry_arg $ telemetry_out_arg)
+      $ telemetry_arg $ telemetry_out_arg $ jobs_arg $ retain_mb_arg)
 
 (* --- compare: diff two run artifacts --- *)
 

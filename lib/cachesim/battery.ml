@@ -1,9 +1,38 @@
+module Pool = Olayout_par.Pool
+module Trace = Olayout_exec.Trace
+
 type t = { caches : Icache.t array }
 
 let create ?track_usage configs =
   { caches = Array.of_list (List.map (Icache.create ?track_usage) configs) }
 
 let access_run t run = Array.iter (fun c -> Icache.access_run c run) t.caches
+
+(* Sharded replay: each shard replays the (immutable, post-record) trace
+   once and feeds a contiguous slice of the config array, so every Icache
+   is touched by exactly one domain and no merge of cache state is needed —
+   the config-list order of [caches] is untouched.  Shard telemetry
+   (cachesim.* counters) merges in shard order via [Pool.map], keeping the
+   totals identical to a serial replay.  Falls back to one serial pass at
+   [jobs = 1], from inside another pool task, or for a single config. *)
+let access_trace ?pool ?(keep = fun (_ : Olayout_exec.Run.t) -> true) t trace =
+  let n = Array.length t.caches in
+  let feed (lo, hi) =
+    Trace.replay trace (fun run ->
+        if keep run then
+          for i = lo to hi do
+            Icache.access_run t.caches.(i) run
+          done)
+  in
+  if n > 0 then
+    match pool with
+    | Some p when Pool.jobs p > 1 && n > 1 ->
+        let shards = min (Pool.jobs p) n in
+        let ranges =
+          List.init shards (fun s -> (s * n / shards, (((s + 1) * n) / shards) - 1))
+        in
+        ignore (Pool.map p feed ranges)
+    | _ -> feed (0, n - 1)
 let flush_residents t = Array.iter Icache.flush_residents t.caches
 let caches t = Array.to_list t.caches
 

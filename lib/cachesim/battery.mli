@@ -8,6 +8,19 @@ type t
 
 val create : ?track_usage:bool -> Icache.config list -> t
 val access_run : t -> Olayout_exec.Run.t -> unit
+
+(** Replay a recorded trace through every configuration.  With a pool of
+    [jobs > 1], the config array is split into [<= jobs] disjoint contiguous
+    shards replayed on separate domains — each cache owned by exactly one
+    domain, results (and per-shard telemetry) merged in config-list order —
+    producing byte-identical cache state to a serial replay.  [keep] filters
+    runs (e.g. application-owned only) before they reach the caches. *)
+val access_trace :
+  ?pool:Olayout_par.Pool.t ->
+  ?keep:(Olayout_exec.Run.t -> bool) ->
+  t ->
+  Olayout_exec.Trace.t ->
+  unit
 val flush_residents : t -> unit
 val caches : t -> Icache.t list
 val find : t -> string -> Icache.t

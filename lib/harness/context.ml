@@ -41,6 +41,7 @@ let c_replayed_runs = Telemetry.counter "context.replayed_runs"
 let c_replayed_instrs = Telemetry.counter "context.replayed_instrs"
 let g_replay_seconds = Telemetry.gauge "context.replay_seconds"
 let g_trace_bytes = Telemetry.gauge "context.trace_cache_bytes"
+let g_trace_peak = Telemetry.gauge "context.trace_peak_bytes"
 
 type t = {
   scale : scale;
@@ -91,6 +92,10 @@ let placement t combo =
   match List.assoc_opt combo t.placements with
   | Some p -> p
   | None ->
+      if Telemetry.in_isolated () then
+        failwith
+          "Context.placement: cache miss inside a parallel task; placements \
+           must be computed by an earlier serial figure";
       let p = Spike.optimize t.app_profile combo in
       t.placements <- (combo, p) :: t.placements;
       p
@@ -111,6 +116,13 @@ let app_only emit (run : Run.t) = if run.Run.owner = Run.App then emit run
 
 let trace_cache_bytes t =
   List.fold_left (fun acc (_, tr) -> acc + Trace.memory_bytes tr) 0 t.traces
+
+let set_bytes_gauges t =
+  let b = float_of_int (trace_cache_bytes t) in
+  Telemetry.set_gauge g_trace_bytes b;
+  (* Peak only ever grows at recording time (all recordings happen on the
+     dispatching domain), so it is identical between -j 1 and -j N. *)
+  if b > Telemetry.gauge_value g_trace_peak then Telemetry.set_gauge g_trace_peak b
 
 let trace_stats t =
   {
@@ -241,6 +253,15 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
             | `Replay _ -> assert false)
           live
       in
+      (* A live walk mutates shared context state (trace cache, result
+         cache, server RNG); it must never run on a pool worker.  The
+         figure scheduler keeps walk-observing figures serial — hitting
+         this means a figure's stream declaration is wrong. *)
+      if Telemetry.in_isolated () then
+        failwith
+          "Context: live execution requested from inside a parallel task; \
+           this figure must be scheduled serially (it records or observes \
+           the walk)";
       let result =
         Telemetry.span "context.live_execution" (fun () ->
             Server.run ~app:(Workload.app t.workload)
@@ -253,7 +274,7 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
           t.traces <- (key, trace) :: t.traces;
           Telemetry.incr c_recorded)
         !recorded;
-      Telemetry.set_gauge g_trace_bytes (float_of_int (trace_cache_bytes t));
+      set_bytes_gauges t;
       (match kid with
       | Some k when not (List.mem_assoc (k, txns) t.results) ->
           t.results <- ((k, txns), result) :: t.results
@@ -265,3 +286,60 @@ let measure t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~renders ()
   measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch
     ~renders:(List.map (fun (combo, emit) -> (placement t combo, emit)) renders)
     ()
+
+(* --- battery replay over the trace cache ------------------------------ *)
+
+let base_key t combo = { combo; kernel = 0; key_txns = measured_txns t }
+
+let traces_for t combos =
+  let missing =
+    List.filter (fun c -> not (List.mem_assoc (base_key t c) t.traces)) combos
+  in
+  (match missing with
+  | [] -> ()
+  | _ ->
+      (* One capture-only walk records every missing stream (unless the
+         byte cap refuses; callers then see [None] and fall back). *)
+      ignore
+        (measure t ~renders:(List.map (fun c -> (c, fun (_ : Run.t) -> ())) missing) ()));
+  List.map (fun c -> List.assoc_opt (base_key t c) t.traces) combos
+
+let replay_battery t ?pool ?keep ~combo battery =
+  match List.assoc_opt (base_key t combo) t.traces with
+  | None -> false
+  | Some trace ->
+      let (), seconds =
+        Telemetry.timed "context.replay" (fun () ->
+            Olayout_cachesim.Battery.access_trace ?pool ?keep battery trace;
+            (* One logical stream consumed, however many shards replayed
+               it: the deterministic counters must not depend on -j. *)
+            Telemetry.incr c_replayed;
+            Telemetry.add c_replayed_runs (Trace.length trace);
+            Telemetry.add c_replayed_instrs (Trace.instrs trace))
+      in
+      Telemetry.add_gauge g_replay_seconds seconds;
+      true
+
+(* --- retention -------------------------------------------------------- *)
+
+let resident_traces t =
+  List.rev_map
+    (fun (key, tr) ->
+      ( (key.combo, (if key.kernel = 0 then `Base else `Optimized)),
+        Trace.memory_bytes tr ))
+    t.traces
+
+let drop_traces t ?(kernel = `Base) combo =
+  let k = match kernel with `Base -> 0 | `Optimized -> 1 in
+  let drop, keep =
+    List.partition (fun (key, _) -> key.combo = combo && key.kernel = k) t.traces
+  in
+  match drop with
+  | [] -> 0
+  | _ ->
+      let freed =
+        List.fold_left (fun acc (_, tr) -> acc + Trace.memory_bytes tr) 0 drop
+      in
+      t.traces <- keep;
+      Telemetry.set_gauge g_trace_bytes (float_of_int (trace_cache_bytes t));
+      freed

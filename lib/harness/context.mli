@@ -99,3 +99,51 @@ val measure_raw :
 (** As {!measure} but with explicit application placements (for the CFA,
     hot/cold-splitting and profile-quality ablations, whose layouts are not
     {!Spike.combo} values). *)
+
+(** {1 Battery replay over the trace cache}
+
+    The parallel engine's preferred path: fetch the recorded streams once,
+    then shard the replay across a battery's configurations on the pool.
+    Live walks (and hence recordings) only ever happen on the dispatching
+    domain — {!measure} raises if a live execution is requested from inside
+    a pool task. *)
+
+val traces_for :
+  t -> Spike.combo list -> Olayout_exec.Trace.t option list
+(** The recorded base-kernel measurement stream for each combination, in
+    order.  Missing streams are recorded by one capture-only live walk
+    first; an entry is [None] only when the trace-cache byte cap refused
+    the recording (callers fall back to {!measure}). *)
+
+val replay_battery :
+  t ->
+  ?pool:Olayout_par.Pool.t ->
+  ?keep:(Run.t -> bool) ->
+  combo:Spike.combo ->
+  Olayout_cachesim.Battery.t ->
+  bool
+(** Replay the cached (combo, base kernel, measured txns) stream through a
+    battery — sharded across the pool's domains when one is given (see
+    {!Olayout_cachesim.Battery.access_trace}).  Replay accounting counts
+    the one logical stream regardless of shard count, so deterministic
+    counters match the serial path.  Returns [false] (doing nothing) when
+    the stream is not cached. *)
+
+(** {1 Trace retention}
+
+    The cache only ever grew before this existed; with parallel replay the
+    peak matters, so the bench can release streams once their last
+    scheduled consumer has run ([--retain-mb]).  Peak residency is reported
+    as the [context.trace_peak_bytes] gauge. *)
+
+val resident_traces :
+  t -> ((Spike.combo * [ `Base | `Optimized ]) * int) list
+(** Currently resident streams (aggregated per combo/kernel, bytes), in
+    recording order. *)
+
+val drop_traces :
+  t -> ?kernel:[ `Base | `Optimized ] -> Spike.combo -> int
+(** Release every resident stream of the combo under the given kernel
+    (default [`Base], whatever the transaction count), returning the bytes
+    freed (0 when none was resident).  A later {!measure} of the same
+    stream simply re-records it. *)

@@ -15,16 +15,22 @@ let configs =
     sizes
 
 (* Replay-compatible: same (Base, All) streams as fig_line_sweep, so this
-   figure is served entirely from the context's trace cache. *)
+   figure is served entirely from the context's trace cache — and the
+   replay shards across the pool's domains when one is given. *)
 let app_only battery = Context.app_only (Battery.access_run battery)
+let app_run (run : Run.t) = run.Run.owner = Run.App
 
-let run ctx =
+let run ?pool ctx =
   let b_base = Battery.create configs and b_opt = Battery.create configs in
-  let _ =
-    Context.measure ctx
-      ~renders:[ (Spike.Base, app_only b_base); (Spike.All, app_only b_opt) ]
-      ()
-  in
+  (match Context.traces_for ctx [ Spike.Base; Spike.All ] with
+  | [ Some _; Some _ ] ->
+      ignore (Context.replay_battery ctx ?pool ~keep:app_run ~combo:Spike.Base b_base);
+      ignore (Context.replay_battery ctx ?pool ~keep:app_run ~combo:Spike.All b_opt)
+  | _ ->
+      ignore
+        (Context.measure ctx
+           ~renders:[ (Spike.Base, app_only b_base); (Spike.All, app_only b_opt) ]
+           ()));
   let find battery size_kb assoc =
     Icache.misses (Battery.find battery (Icache.config ~size_kb ~line:128 ~assoc ()).Icache.name)
   in

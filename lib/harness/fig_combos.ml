@@ -14,16 +14,25 @@ let sizes = Fig_line_sweep.cache_sizes_kb
 let configs = List.map (fun size_kb -> Icache.config ~size_kb ~line:128 ~assoc:4 ()) sizes
 
 (* Replay-compatible: Base and All replay from the trace cache; the four
-   intermediate combos record on first use (reused by fig15). *)
+   intermediate combos record on first use (reused by fig15).  Each
+   combo's battery replay shards across the pool's domains when one is
+   given. *)
 let app_only battery = Context.app_only (Battery.access_run battery)
+let app_run (run : Run.t) = run.Run.owner = Run.App
 
-let run ctx =
+let run ?pool ctx =
   let batteries = List.map (fun combo -> (combo, Battery.create configs)) Spike.all_combos in
-  let _ =
-    Context.measure ctx
-      ~renders:(List.map (fun (combo, b) -> (combo, app_only b)) batteries)
-      ()
-  in
+  let traces = Context.traces_for ctx Spike.all_combos in
+  if List.for_all Option.is_some traces then
+    List.iter
+      (fun (combo, b) ->
+        ignore (Context.replay_battery ctx ?pool ~keep:app_run ~combo b))
+      batteries
+  else
+    ignore
+      (Context.measure ctx
+         ~renders:(List.map (fun (combo, b) -> (combo, app_only b)) batteries)
+         ());
   let find b size_kb =
     Icache.misses (Battery.find b (Icache.config ~size_kb ~line:128 ~assoc:4 ()).Icache.name)
   in

@@ -13,5 +13,5 @@ type result = {
       (** per cache size KB, misses per combo *)
 }
 
-val run : Context.t -> result
+val run : ?pool:Olayout_par.Pool.t -> Context.t -> result
 val tables : result -> Table.t list

@@ -10,11 +10,18 @@
 val cache_sizes_kb : int list
 val line_sizes : int list
 
-type result = {
-  base : (int * int * int) list;  (** (size KB, line B, misses) *)
-  optimized : (int * int * int) list;
-}
+type grid
+(** Misses indexed by (cache size, line size) position in the lists above,
+    built once from the battery — O(1) per cell. *)
 
-val run : Context.t -> result
-val misses : (int * int * int) list -> size_kb:int -> line:int -> int
+type result = { base : grid; optimized : grid }
+
+(** Replays the cached (Base, All) streams through the two 25-config
+    batteries, sharded across the pool's domains when one is given; falls
+    back to a live measurement when the streams could not be recorded. *)
+val run : ?pool:Olayout_par.Pool.t -> Context.t -> result
+
+val misses : grid -> size_kb:int -> line:int -> int
+(** @raise Invalid_argument on a size or line value not in the sweep. *)
+
 val tables : result -> Table.t list

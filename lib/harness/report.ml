@@ -1,38 +1,169 @@
+module Pool = Olayout_par.Pool
+module Spike = Olayout_core.Spike
 module Telemetry = Olayout_telemetry.Telemetry
 
 type selection = All | Only of string list
 
-let experiments :
-    (string * string * (Context.t -> Table.t list)) list =
+(* A measurement stream in the context's trace cache: app combination plus
+   which of the two context-owned kernels rendered alongside it. *)
+type stream = Spike.combo * [ `Base | `Optimized ]
+
+(* Each experiment declares what it needs from the shared trace cache:
+
+   - [e_streams]: the streams it consumes (recording them first if absent).
+     Drives both the parallel schedule (a figure is dispatched to the pool
+     only when every declared stream was provided by an earlier figure) and
+     trace retention (a stream is droppable after its last declared
+     consumer).  Under-declaring is a determinism bug for replay-only
+     figures (the worker guard in Context turns it into an error), merely
+     wasteful for live ones (they re-record).
+   - [e_live]: the figure observes or mutates the walk itself (block sinks,
+     data refs, context switches, ad-hoc placements, own server runs) and
+     must execute on the dispatching domain. *)
+type experiment = {
+  e_id : string;
+  e_desc : string;
+  e_live : bool;
+  e_streams : stream list;
+  e_run : Pool.t option -> Context.t -> Table.t list;
+}
+
+let app c = (c, `Base)
+let kern c = (c, `Optimized)
+let base_all = [ app Spike.Base; app Spike.All ]
+let all_combos = List.map app Spike.all_combos
+
+let experiments : experiment list =
   [
-    ("fig3", "execution profile", fun ctx -> Fig_footprint.tables (Fig_footprint.run ctx));
-    ("fig4", "cache/line sweep (figs 4-5)", fun ctx -> Fig_line_sweep.tables (Fig_line_sweep.run ctx));
-    ("fig6", "associativity", fun ctx -> Fig_assoc.tables (Fig_assoc.run ctx));
-    ("fig7", "optimization combinations", fun ctx -> Fig_combos.tables (Fig_combos.run ctx));
-    ("fig8", "sequence lengths", fun ctx -> Fig_sequences.tables (Fig_sequences.run ctx));
-    ("fig9", "line usage (figs 9-11)", fun ctx -> Fig_usage.tables (Fig_usage.run ctx));
-    ("fig12", "combined app+OS (figs 12-13)", fun ctx -> Fig_combined.tables (Fig_combined.run ctx));
-    ("fig14", "iTLB and L2", fun ctx -> Fig_memsys.tables (Fig_memsys.run ctx));
-    ("fig15", "execution time", fun ctx -> Fig_exec_time.tables (Fig_exec_time.run ctx));
-    ("intext", "in-text measurements", fun ctx -> Intext.tables (Intext.run ctx));
-    ("ablations", "design ablations", fun ctx -> Ablations.tables (Ablations.run ctx));
-    ("prefetch", "extension: stream-buffer prefetch", fun ctx ->
-        Fig_prefetch.tables (Fig_prefetch.run ctx));
-    ("joint", "extension: joint app+kernel layout", fun ctx ->
-        Fig_joint.tables (Fig_joint.run ctx));
-    ("bpred", "extension: branch prediction", fun ctx ->
-        Fig_bpred.tables (Fig_bpred.run ctx));
-    ("coloring", "extension: cache-line coloring", fun ctx ->
-        Fig_coloring.tables (Fig_coloring.run ctx));
-    ("dss", "extension: DSS contrast workload", fun ctx ->
-        Fig_dss.tables (Fig_dss.run ctx));
-    ("multiproc", "extension: per-CPU caches", fun ctx ->
-        Fig_multiproc.tables (Fig_multiproc.run ctx));
-    ("temporal", "extension: temporal ordering (Gloy et al.)", fun ctx ->
-        Fig_temporal.tables (Fig_temporal.run ctx));
+    {
+      e_id = "fig3";
+      e_desc = "execution profile";
+      e_live = false;
+      e_streams = [];
+      e_run = (fun _ ctx -> Fig_footprint.tables (Fig_footprint.run ctx));
+    };
+    {
+      e_id = "fig4";
+      e_desc = "cache/line sweep (figs 4-5)";
+      e_live = false;
+      e_streams = base_all;
+      e_run = (fun pool ctx -> Fig_line_sweep.tables (Fig_line_sweep.run ?pool ctx));
+    };
+    {
+      e_id = "fig6";
+      e_desc = "associativity";
+      e_live = false;
+      e_streams = base_all;
+      e_run = (fun pool ctx -> Fig_assoc.tables (Fig_assoc.run ?pool ctx));
+    };
+    {
+      e_id = "fig7";
+      e_desc = "optimization combinations";
+      e_live = false;
+      e_streams = all_combos;
+      e_run = (fun pool ctx -> Fig_combos.tables (Fig_combos.run ?pool ctx));
+    };
+    {
+      e_id = "fig8";
+      e_desc = "sequence lengths";
+      e_live = false;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_sequences.tables (Fig_sequences.run ctx));
+    };
+    {
+      e_id = "fig9";
+      e_desc = "line usage (figs 9-11)";
+      e_live = false;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_usage.tables (Fig_usage.run ctx));
+    };
+    {
+      e_id = "fig12";
+      e_desc = "combined app+OS (figs 12-13)";
+      e_live = false;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_combined.tables (Fig_combined.run ctx));
+    };
+    {
+      e_id = "fig14";
+      e_desc = "iTLB and L2";
+      e_live = true;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_memsys.tables (Fig_memsys.run ctx));
+    };
+    {
+      e_id = "fig15";
+      e_desc = "execution time";
+      e_live = false;
+      e_streams = all_combos;
+      e_run = (fun _ ctx -> Fig_exec_time.tables (Fig_exec_time.run ctx));
+    };
+    {
+      e_id = "intext";
+      e_desc = "in-text measurements";
+      e_live = false;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Intext.tables (Intext.run ctx));
+    };
+    {
+      e_id = "ablations";
+      e_desc = "design ablations";
+      e_live = true;
+      e_streams = [ app Spike.All; kern Spike.All ];
+      e_run = (fun _ ctx -> Ablations.tables (Ablations.run ctx));
+    };
+    {
+      e_id = "prefetch";
+      e_desc = "extension: stream-buffer prefetch";
+      e_live = false;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_prefetch.tables (Fig_prefetch.run ctx));
+    };
+    {
+      e_id = "joint";
+      e_desc = "extension: joint app+kernel layout";
+      e_live = true;
+      e_streams = [ app Spike.All; kern Spike.All ];
+      e_run = (fun _ ctx -> Fig_joint.tables (Fig_joint.run ctx));
+    };
+    {
+      e_id = "bpred";
+      e_desc = "extension: branch prediction";
+      e_live = true;
+      e_streams = [];
+      e_run = (fun _ ctx -> Fig_bpred.tables (Fig_bpred.run ctx));
+    };
+    {
+      e_id = "coloring";
+      e_desc = "extension: cache-line coloring";
+      e_live = true;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_coloring.tables (Fig_coloring.run ctx));
+    };
+    {
+      e_id = "dss";
+      e_desc = "extension: DSS contrast workload";
+      e_live = true;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_dss.tables (Fig_dss.run ctx));
+    };
+    {
+      e_id = "multiproc";
+      e_desc = "extension: per-CPU caches";
+      e_live = true;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_multiproc.tables (Fig_multiproc.run ctx));
+    };
+    {
+      e_id = "temporal";
+      e_desc = "extension: temporal ordering (Gloy et al.)";
+      e_live = true;
+      e_streams = base_all;
+      e_run = (fun _ ctx -> Fig_temporal.tables (Fig_temporal.run ctx));
+    };
   ]
 
-let experiment_ids = List.map (fun (id, _, _) -> id) experiments
+let experiment_ids = List.map (fun e -> e.e_id) experiments
 
 type figure_stat = {
   fig_id : string;
@@ -93,49 +224,253 @@ let trace_summary_table (s : Context.trace_stats) =
     ];
   tbl
 
-let run ?(selection = All) ?(trace_stats = false) ctx ppf =
-  let selected =
-    match selection with
-    | All -> experiments
-    | Only ids ->
-        (* Validate against a lookup list built once, not per requested id. *)
-        let known = experiment_ids in
-        let unknown = List.filter (fun id -> not (List.mem id known)) ids in
-        if unknown <> [] then
-          invalid_arg
-            (Printf.sprintf "unknown experiment%s %s (valid ids: %s)"
-               (if List.length unknown > 1 then "s" else "")
-               (String.concat ", " unknown)
-               (String.concat ", " known));
-        List.filter (fun (id, _, _) -> List.mem id ids) experiments
+(* --- selection & schedule -------------------------------------------- *)
+
+let select selection =
+  match selection with
+  | All -> experiments
+  | Only ids ->
+      (* Validate against a lookup list built once, not per requested id. *)
+      let known = experiment_ids in
+      let unknown = List.filter (fun id -> not (List.mem id known)) ids in
+      if unknown <> [] then
+        invalid_arg
+          (Printf.sprintf "unknown experiment%s %s (valid ids: %s)"
+             (if List.length unknown > 1 then "s" else "")
+             (String.concat ", " unknown)
+             (String.concat ", " known));
+      List.filter (fun e -> List.mem e.e_id ids) experiments
+
+(* A figure can go to the pool only when it neither observes the walk nor
+   needs a stream no earlier figure has provided (serial figures provide
+   their declared streams by recording them on first use). *)
+let schedule selected =
+  let provided = ref [] in
+  List.map
+    (fun e ->
+      let parallel =
+        (not e.e_live)
+        && List.for_all (fun s -> List.mem s !provided) e.e_streams
+      in
+      List.iter
+        (fun s -> if not (List.mem s !provided) then provided := s :: !provided)
+        e.e_streams;
+      (e, parallel))
+    selected
+
+(* --- retention -------------------------------------------------------- *)
+
+(* After figure [i] completes (in list order), every stream whose last
+   declared consumer is [i] becomes releasable; while the cache exceeds the
+   threshold, releasable streams are dropped largest-first.  Runs at the
+   same points in list order whether or not a pool is in use, so the
+   deterministic counters (and the peak gauge) cannot depend on -j. *)
+type retention = {
+  r_bytes : int;
+  r_last : (stream * int) list; (* stream -> last consumer index *)
+  mutable r_releasable : stream list;
+}
+
+let retention_of ~retain_mb scheduled =
+  match retain_mb with
+  | None -> None
+  | Some mb ->
+      let last = Hashtbl.create 16 in
+      List.iteri
+        (fun i (e, _) -> List.iter (fun s -> Hashtbl.replace last s i) e.e_streams)
+        scheduled;
+      Some
+        {
+          r_bytes = mb * 1024 * 1024;
+          r_last = Hashtbl.fold (fun s i acc -> (s, i) :: acc) last [];
+          r_releasable = [];
+        }
+
+let apply_retention ctx r i =
+  let freed_new =
+    List.filter_map (fun (s, last) -> if last = i then Some s else None) r.r_last
+  in
+  r.r_releasable <- r.r_releasable @ freed_new;
+  let resident = Context.resident_traces ctx in
+  let bytes () =
+    List.fold_left (fun acc (_, b) -> acc + b) 0 (Context.resident_traces ctx)
+  in
+  if bytes () > r.r_bytes then begin
+    let sized =
+      List.filter_map
+        (fun s ->
+          match List.assoc_opt s resident with
+          | Some b when b > 0 -> Some (s, b)
+          | _ -> None)
+        r.r_releasable
+      |> List.stable_sort (fun (_, a) (_, b) -> compare b a)
+    in
+    List.iter
+      (fun ((combo, kernel), _) ->
+        if bytes () > r.r_bytes then
+          ignore (Context.drop_traces ctx ~kernel combo))
+      sized;
+    r.r_releasable <-
+      List.filter
+        (fun s -> List.mem_assoc s (Context.resident_traces ctx))
+        r.r_releasable
+  end
+
+(* --- execution -------------------------------------------------------- *)
+
+(* Everything needed to print and account one completed figure.  In
+   parallel mode output is buffered per figure and emitted in list order,
+   so the report reads identically to a serial run. *)
+type completed = {
+  c_output : string;
+  c_stat : figure_stat;
+  c_trace_delta : Context.trace_stats * Context.trace_stats;
+}
+
+let zero_stats =
+  {
+    Context.live_executions = 0;
+    live_runs = 0;
+    live_instrs = 0;
+    recorded_traces = 0;
+    replayed_traces = 0;
+    replayed_runs = 0;
+    replayed_instrs = 0;
+    replay_seconds = 0.0;
+    trace_bytes = 0;
+  }
+
+let stats_of_snapshot snap =
+  let c name = Telemetry.Isolated.snap_counter snap name in
+  {
+    Context.live_executions = c "context.live_executions";
+    live_runs = c "context.live_runs";
+    live_instrs = c "context.live_instrs";
+    recorded_traces = c "context.traces_recorded";
+    replayed_traces = c "context.traces_replayed";
+    replayed_runs = c "context.replayed_runs";
+    replayed_instrs = c "context.replayed_instrs";
+    replay_seconds = Telemetry.Isolated.snap_gauge snap "context.replay_seconds";
+    trace_bytes = 0;
+  }
+
+let stat_of_deltas e seconds (s0 : Context.trace_stats) (s1 : Context.trace_stats) =
+  {
+    fig_id = e.e_id;
+    fig_desc = e.e_desc;
+    fig_seconds = seconds;
+    fig_live_runs = s1.Context.live_runs - s0.Context.live_runs;
+    fig_replayed_runs = s1.Context.replayed_runs - s0.Context.replayed_runs;
+    fig_live_instrs = s1.Context.live_instrs - s0.Context.live_instrs;
+    fig_replayed_instrs = s1.Context.replayed_instrs - s0.Context.replayed_instrs;
+    fig_live_executions = s1.Context.live_executions - s0.Context.live_executions;
+    fig_replayed_traces = s1.Context.replayed_traces - s0.Context.replayed_traces;
+  }
+
+(* Render one figure's report block (header, tables, timing line) while
+   running it under its span; returns the text and the timing. *)
+let render_figure pool ctx e =
+  let buf = Buffer.create 4096 in
+  let bppf = Format.formatter_of_buffer buf in
+  Format.fprintf bppf "@.### %s — %s@." e.e_id e.e_desc;
+  let tables, seconds = Telemetry.timed ("report." ^ e.e_id) (fun () -> e.e_run pool ctx) in
+  List.iter (fun tbl -> Table.print bppf tbl) tables;
+  Format.fprintf bppf "  (%s took %.1fs)@." e.e_id seconds;
+  Format.pp_print_flush bppf ();
+  (Buffer.contents buf, seconds)
+
+let publish_par_gauges pool ~serial_estimate ~wall =
+  (match pool with
+  | Some p -> Pool.publish_stats p
+  | None ->
+      Telemetry.set_gauge (Telemetry.gauge "par.jobs") 1.0;
+      Telemetry.set_gauge (Telemetry.gauge "par.tasks") 0.0;
+      Telemetry.set_gauge (Telemetry.gauge "par.helped_tasks") 0.0;
+      Telemetry.set_gauge (Telemetry.gauge "par.idle_seconds") 0.0);
+  Telemetry.set_gauge
+    (Telemetry.gauge "par.speedup")
+    (if wall > 0.0 then serial_estimate /. wall else 1.0)
+
+let run ?(selection = All) ?(trace_stats = false) ?pool ?retain_mb ctx ppf =
+  let t_start = Unix.gettimeofday () in
+  let selected = select selection in
+  let jobs = match pool with Some p -> Pool.jobs p | None -> 1 in
+  let scheduled = schedule selected in
+  let retention = retention_of ~retain_mb scheduled in
+  let finish_figure i (done_ : completed) =
+    Format.pp_print_string ppf done_.c_output;
+    (if trace_stats then
+       let s0, s1 = done_.c_trace_delta in
+       print_figure_trace_stats ppf done_.c_stat.fig_id s0 s1);
+    (match retention with Some r -> apply_retention ctx r i | None -> ());
+    done_.c_stat
   in
   let figures =
-    List.map
-      (fun (id, desc, exp) ->
-        let s0 = Context.trace_stats ctx in
-        Format.fprintf ppf "@.### %s — %s@." id desc;
-        (* The span is the single timing code path: its duration feeds the
-           console line here, the span registry, and the bench artifact. *)
-        let tables, seconds = Telemetry.timed ("report." ^ id) (fun () -> exp ctx) in
-        List.iter (fun tbl -> Table.print ppf tbl) tables;
-        Format.fprintf ppf "  (%s took %.1fs)@." id seconds;
-        let s1 = Context.trace_stats ctx in
-        if trace_stats then print_figure_trace_stats ppf id s0 s1;
-        {
-          fig_id = id;
-          fig_desc = desc;
-          fig_seconds = seconds;
-          fig_live_runs = s1.Context.live_runs - s0.Context.live_runs;
-          fig_replayed_runs = s1.Context.replayed_runs - s0.Context.replayed_runs;
-          fig_live_instrs = s1.Context.live_instrs - s0.Context.live_instrs;
-          fig_replayed_instrs =
-            s1.Context.replayed_instrs - s0.Context.replayed_instrs;
-          fig_live_executions =
-            s1.Context.live_executions - s0.Context.live_executions;
-          fig_replayed_traces =
-            s1.Context.replayed_traces - s0.Context.replayed_traces;
-        })
-      selected
+    if jobs = 1 then
+      (* Serial: run, print and account each figure in order, exactly the
+         pre-pool code path (modulo the per-figure output buffer). *)
+      List.mapi
+        (fun i (e, _) ->
+          let s0 = Context.trace_stats ctx in
+          let output, seconds = render_figure None ctx e in
+          let s1 = Context.trace_stats ctx in
+          finish_figure i
+            {
+              c_output = output;
+              c_stat = stat_of_deltas e seconds s0 s1;
+              c_trace_delta = (s0, s1);
+            })
+        scheduled
+    else begin
+      let p = Option.get pool in
+      (* Dispatch pass: pool-eligible figures are submitted as tasks;
+         serial figures run here at their list position, so every stream a
+         dispatched task replays was recorded before the dispatch. *)
+      let pending =
+        List.map
+          (fun (e, parallel) ->
+            if parallel then `Fut (e, Pool.submit p (fun () -> render_figure pool ctx e))
+            else begin
+              let s0 = Context.trace_stats ctx in
+              let output, seconds = render_figure pool ctx e in
+              let s1 = Context.trace_stats ctx in
+              `Done
+                {
+                  c_output = output;
+                  c_stat = stat_of_deltas e seconds s0 s1;
+                  c_trace_delta = (s0, s1);
+                }
+            end)
+          scheduled
+      in
+      (* Collection pass, in list order: await each task (helping the pool
+         while blocked), merge its telemetry snapshot — submission order ==
+         list order, so the merge order is deterministic — and emit its
+         buffered report block. *)
+      List.mapi
+        (fun i pending ->
+          match pending with
+          | `Done done_ -> finish_figure i done_
+          | `Fut (e, fut) ->
+              let (output, seconds), snap = Pool.await_snapshot fut in
+              let s1 =
+                match snap with
+                | Some snap -> stats_of_snapshot snap
+                | None -> zero_stats
+              in
+              finish_figure i
+                {
+                  c_output = output;
+                  c_stat = stat_of_deltas e seconds zero_stats s1;
+                  c_trace_delta = (zero_stats, s1);
+                })
+        pending
+    end
   in
   if trace_stats then Table.print ppf (trace_summary_table (Context.trace_stats ctx));
+  let wall = Unix.gettimeofday () -. t_start in
+  let serial_estimate =
+    List.fold_left (fun acc f -> acc +. f.fig_seconds) 0.0 figures
+  in
+  publish_par_gauges pool ~serial_estimate ~wall;
   figures

@@ -28,17 +28,34 @@ type figure_stat = {
 val run :
   ?selection:selection ->
   ?trace_stats:bool ->
+  ?pool:Olayout_par.Pool.t ->
+  ?retain_mb:int ->
   Context.t ->
   Format.formatter ->
   figure_stat list
-(** Executes the selected experiments in order, printing each experiment's
-    tables as it completes (with wall-clock timings), and returns one
-    {!figure_stat} per executed experiment.  Each figure runs inside a
-    telemetry span named [report.<id>], so span aggregates (and the JSONL
-    sink, when attached) carry the same timings.  With [trace_stats]
-    (default false), also prints one line per figure attributing its
-    instruction streams to trace replay vs live simulation — runs/instrs
-    replayed, replay throughput in Mruns/s — and a final trace-cache
-    summary table.
+(** Executes the selected experiments and prints each experiment's tables
+    (with wall-clock timings) in list order, returning one {!figure_stat}
+    per executed experiment.  Each figure runs inside a telemetry span
+    named [report.<id>], so span aggregates (and the JSONL sink, when
+    attached) carry the same timings.  With [trace_stats] (default false),
+    also prints one line per figure attributing its instruction streams to
+    trace replay vs live simulation — runs/instrs replayed, replay
+    throughput in Mruns/s — and a final trace-cache summary table.
+
+    With a [pool] of 2+ jobs, replay-only figures whose streams were
+    recorded by an earlier figure run as a dependency-aware parallel
+    schedule on the pool's domains (live-walk figures stay on the
+    dispatching domain, serialized first so they populate the trace cache);
+    batteries additionally shard their replay across the pool.  Output
+    order, per-figure attribution and every deterministic counter are
+    identical to the serial run: task telemetry is captured in isolation
+    and merged in list order.  Publishes the [par.*] gauges, including
+    [par.speedup] (summed per-figure seconds over report wall time).
+
+    [retain_mb] bounds trace-cache residency: after each figure (in list
+    order), streams whose last scheduled consumer has run are dropped
+    largest-first while the cache exceeds the threshold.  Peak residency is
+    tracked by the [context.trace_peak_bytes] gauge either way.
+
     @raise Invalid_argument on unknown experiment ids (the message lists
     the valid ids). *)

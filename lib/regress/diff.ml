@@ -58,6 +58,15 @@ let classify path =
     | Some i -> String.sub path 0 i
     | None -> path
   in
+  let starts_with ~prefix s =
+    let lp = String.length prefix in
+    String.length s >= lp && String.sub s 0 lp = prefix
+  in
+  (* par.* metrics (pool size, task/steal counts, idle time, speedup)
+     legitimately differ between -j legs gated against one baseline. *)
+  if starts_with ~prefix:"counters.par." path || starts_with ~prefix:"gauges.par." path
+  then Timing
+  else
   match head with
   | "total_seconds" -> Timing
   | "gc" -> Timing  (* allocation totals vary with runtime version/params *)

@@ -22,8 +22,14 @@
     {e disabled} ({!set_enabled}[ false]), {!span} is a direct call to the
     thunk — no clock reads, no allocation.
 
-    The registry is process-global and single-threaded, matching the rest
-    of the pipeline. *)
+    The registry is process-global.  On the serial path every write is a
+    direct memory update, exactly as before.  Under a Domain work pool
+    ({!set_parallel}), writes made inside {!Isolated.capture} land in a
+    domain-local shadow registry (dense arrays indexed by handle id,
+    resolved through [Domain.DLS]); {!Isolated.merge} folds a shadow into
+    the global registry deterministically — snapshots merged in submission
+    order, instrument names sorted within each snapshot — so a parallel
+    run reproduces the serial counter values bit-for-bit. *)
 
 val set_enabled : bool -> unit
 (** Enable/disable span recording (default: enabled).  Counters, gauges and
@@ -84,6 +90,53 @@ type span_stat = {
 
 val span_stats : unit -> span_stat list
 (** Aggregated spans, sorted by path. *)
+
+val current_span_stack : unit -> string list
+(** The active span paths, innermost first (domain-local under a pool).
+    Pass to {!Isolated.capture} as [inherit_spans] so spans opened inside a
+    pool task nest under the dispatcher's path exactly as they would have
+    serially. *)
+
+(** {1 Parallel capture}
+
+    The Domain work pool ([Olayout_par.Pool]) runs every task inside
+    {!Isolated.capture} and merges the snapshots back in submission order,
+    which keeps deterministic counters identical between [-j 1] and
+    [-j N]. *)
+
+val set_parallel : bool -> unit
+(** Flip the parallel-mode flag (set by the pool while worker domains are
+    live).  While off — the default — the shadow lookup is skipped entirely
+    and every instrument write takes the original single-threaded path. *)
+
+val in_isolated : unit -> bool
+(** True while executing inside {!Isolated.capture} (i.e. inside a pool
+    task).  Used as a guard by code that must not run on a worker, such as
+    a live workload walk that mutates shared state. *)
+
+module Isolated : sig
+  type snapshot
+  (** Every instrument write made during one {!capture}: counter deltas,
+      gauge updates (with set-vs-accumulate semantics preserved), histogram
+      buckets, span aggregates, and buffered JSONL events. *)
+
+  val capture : inherit_spans:string list -> (unit -> 'a) -> 'a * snapshot
+  (** Run [f] with a fresh domain-local shadow registry (nesting restores
+      the previous shadow on exit, even on exceptions).  [inherit_spans]
+      seeds the shadow's span stack — pass the dispatcher's
+      {!current_span_stack} so paths match the serial run. *)
+
+  val merge : snapshot -> unit
+  (** Fold the snapshot into the global registry (names sorted within the
+      snapshot) and flush its buffered JSONL events.  Call from the
+      dispatching domain, in task-submission order. *)
+
+  val snap_counter : snapshot -> string -> int
+  (** The snapshot's own delta for a named counter (0 if untouched). *)
+
+  val snap_gauge : snapshot -> string -> float
+  (** The snapshot's accumulated value for a named gauge (0 if untouched). *)
+end
 
 (** {1 Registry snapshots} *)
 
