@@ -16,7 +16,8 @@
      dune exec bench/main.exe -- --baseline FILE --gate  # exit non-zero on drift
      dune exec bench/main.exe -- --chrome-trace FILE   # Perfetto-loadable trace
      dune exec bench/main.exe -- -j 4                  # parallel figure schedule
-     dune exec bench/main.exe -- --retain-mb 256       # bound trace-cache residency *)
+     dune exec bench/main.exe -- --retain-mb 256       # bound trace-cache residency
+     dune exec bench/main.exe -- --engine icache       # per-config caches for the sweeps *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -51,13 +52,15 @@ type options = {
   jobs : int option;  (* None = serial; Some 0 = auto (recommended count) *)
   retain_mb : int option;
   bench_json_out : string option;
+  engine : Olayout_cachesim.Battery.engine;
 }
 
 let flag_summary =
   "--quick, --no-micro, --trace-stats, --bench-json, --diagnose, \
    --telemetry-summary, --only IDS, --telemetry-out FILE, --baseline FILE, \
    --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE, \
-   -j/--jobs N|auto, --retain-mb MB, --bench-json-out FILE"
+   -j/--jobs N|auto, --retain-mb MB, --bench-json-out FILE, \
+   --engine icache|stackdist"
 
 let usage_error fmt =
   Printf.ksprintf
@@ -76,6 +79,7 @@ let parse_args () =
   let tolerance = ref None and compare_out = ref None in
   let chrome_trace = ref None in
   let jobs = ref None and retain_mb = ref None and bench_json_out = ref None in
+  let engine = ref `Stackdist in
   let missing opt expected =
     usage_error "option %s requires an argument: %s" opt expected
   in
@@ -120,6 +124,14 @@ let parse_args () =
         missing "--retain-mb" "a trace-cache residency bound in MiB"
     | [ "--bench-json-out" ] ->
         missing "--bench-json-out" "a JSON output path (implies --bench-json)"
+    | [ "--engine" ] -> missing "--engine" "\"icache\" or \"stackdist\""
+    | "--engine" :: name :: rest ->
+        (match name with
+        | "icache" -> engine := `Icache
+        | "stackdist" -> engine := `Stackdist
+        | _ ->
+            usage_error "--engine expects \"icache\" or \"stackdist\", got %S" name);
+        go rest
     | "--only" :: ids :: rest ->
         only := Some (String.split_on_char ',' ids);
         go rest
@@ -189,6 +201,7 @@ let parse_args () =
     jobs = !jobs;
     retain_mb = !retain_mb;
     bench_json_out = !bench_json_out;
+    engine = !engine;
   }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
@@ -301,15 +314,18 @@ let () =
   Option.iter Telemetry.open_jsonl_file jsonl_path;
   if jsonl_path <> None then begin
     (* Counter tracks for the Chrome trace: cumulative simulated i-cache
-       misses and the trace-cache footprint, sampled at span completion. *)
+       misses (both engines) and the trace-cache footprint, sampled at
+       span completion. *)
     Telemetry.watch_counter (Telemetry.counter "cachesim.icache_misses");
+    Telemetry.watch_counter (Telemetry.counter "cachesim.stackdist.misses");
     Telemetry.watch_gauge (Telemetry.gauge "context.trace_cache_bytes")
   end;
   let scale = if opts.quick then Context.Quick else Context.Full in
   let scale_name = if opts.quick then "quick" else "full" in
   Format.printf
-    "olayout bench: reproducing Ramirez et al., ISCA 2001 (%s scale)@."
-    scale_name;
+    "olayout bench: reproducing Ramirez et al., ISCA 2001 (%s scale, %s sweep engine)@."
+    scale_name
+    (Olayout_cachesim.Battery.engine_name opts.engine);
   let pool =
     match opts.jobs with
     | None | Some 1 -> None
@@ -325,7 +341,8 @@ let () =
       (fun () ->
         Telemetry.timed "bench.total" (fun () ->
             let ctx, setup_seconds =
-              Telemetry.timed "bench.setup" (fun () -> Context.create ~scale ())
+              Telemetry.timed "bench.setup" (fun () ->
+                  Context.create ~scale ~engine:opts.engine ())
             in
             Format.printf "workload built and profiled in %.1fs@." setup_seconds;
             let selection =

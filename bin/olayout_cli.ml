@@ -393,10 +393,10 @@ let diagnose_cmd =
 
 (* --- report --- *)
 
-let report seed quick only trace_stats telemetry telemetry_out jobs retain_mb =
+let report seed quick only trace_stats telemetry telemetry_out jobs retain_mb engine =
   Option.iter Telemetry.open_jsonl_file telemetry_out;
   let scale = if quick then Context.Quick else Context.Full in
-  let ctx = Context.create ~scale ~seed () in
+  let ctx = Context.create ~scale ~seed ~engine () in
   let selection = match only with [] -> Report.All | ids -> Report.Only ids in
   let module Pool = Olayout_par.Pool in
   let pool =
@@ -497,22 +497,39 @@ let report_cmd =
              streams with no remaining consumer, largest first, while the \
              cache exceeds $(docv) MiB.")
   in
+  let engine_arg =
+    let engine_conv =
+      Arg.enum [ ("icache", `Icache); ("stackdist", `Stackdist) ]
+    in
+    Arg.(
+      value
+      & opt engine_conv `Stackdist
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Battery backend for the sweep figures (fig4/5, fig6, fig7): \
+             $(b,stackdist) (default) computes every geometry's misses in \
+             one stack-distance pass per line size; $(b,icache) simulates \
+             one full cache per configuration.  Miss counts are identical; \
+             only the cachesim.* counters and wall-clock differ.")
+  in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's figures.")
     Term.(
       const report $ seed_arg $ quick_arg $ only_arg $ trace_stats_arg
-      $ telemetry_arg $ telemetry_out_arg $ jobs_arg $ retain_mb_arg)
+      $ telemetry_arg $ telemetry_out_arg $ jobs_arg $ retain_mb_arg
+      $ engine_arg)
 
 (* --- compare: diff two run artifacts --- *)
 
-let compare_artifacts old_path new_path tolerance gate gate_timing out fidelity =
+let compare_artifacts old_path new_path tolerance gate gate_timing out fidelity
+    ignore_prefixes =
   let module Artifact = Olayout_regress.Artifact in
   let module Diff = Olayout_regress.Diff in
   let module Fidelity = Olayout_regress.Fidelity in
   match
     let old_art = Artifact.load_file old_path in
     let new_art = Artifact.load_file new_path in
-    Diff.compare_artifacts ?tolerance ~old_art ~new_art ()
+    Diff.compare_artifacts ?tolerance ~ignore_prefixes ~old_art ~new_art ()
   with
   | exception Artifact.Load_error msg ->
       Printf.eprintf "olayout: compare: %s\n" msg;
@@ -601,6 +618,16 @@ let compare_cmd =
             "Score the new artifact against the paper's headline claims and \
              include the scoreboard in the output.")
   in
+  let ignore_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore" ] ~docv:"PREFIX"
+          ~doc:
+            "Drop metric paths starting with $(docv) from both sides before \
+             comparing (repeatable).  The cross-engine CI leg uses \
+             $(b,--ignore counters.cachesim.) to gate two engines' artifacts \
+             on everything except their engine-specific simulator counters.")
+  in
   Cmd.v
     (Cmd.info "compare"
        ~doc:
@@ -608,7 +635,7 @@ let compare_cmd =
           gate on exact equality, timing metrics on a relative tolerance.")
     Term.(
       const compare_artifacts $ old_arg $ new_arg $ tolerance_arg $ gate_arg
-      $ gate_timing_arg $ out_arg $ fidelity_arg)
+      $ gate_timing_arg $ out_arg $ fidelity_arg $ ignore_arg)
 
 (* --- chrome-trace: telemetry JSONL -> trace-event JSON --- *)
 

@@ -1,29 +1,48 @@
 module Pool = Olayout_par.Pool
 module Trace = Olayout_exec.Trace
 
-type t = { caches : Icache.t array }
+type engine = [ `Icache | `Stackdist ]
 
-let create ?track_usage configs =
-  { caches = Array.of_list (List.map (Icache.create ?track_usage) configs) }
+(* Two interchangeable backends over the same configuration list: an array
+   of full per-config simulators, or one grouped stack-distance simulation
+   whose miss counts are byte-identical (both are exact per-set LRU; the
+   cross-engine CI leg enforces the equality). *)
+type backend = Caches of Icache.t array | Stack of Stackdist.t
 
-let access_run t run = Array.iter (fun c -> Icache.access_run c run) t.caches
+type t = { engine : engine; backend : backend }
+
+let engine_name = function `Icache -> "icache" | `Stackdist -> "stackdist"
+
+let create ?(engine = `Icache) ?track_usage configs =
+  match engine with
+  | `Icache ->
+      {
+        engine;
+        backend = Caches (Array.of_list (List.map (Icache.create ?track_usage) configs));
+      }
+  | `Stackdist ->
+      if track_usage = Some true then
+        invalid_arg
+          "Battery.create: usage tracking needs per-line state the stackdist \
+           engine does not keep; use ~engine:`Icache";
+      { engine; backend = Stack (Stackdist.create configs) }
+
+let engine t = t.engine
+
+let access_run t run =
+  match t.backend with
+  | Caches caches -> Array.iter (fun c -> Icache.access_run c run) caches
+  | Stack sd -> Stackdist.access_run sd run
 
 (* Sharded replay: each shard replays the (immutable, post-record) trace
-   once and feeds a contiguous slice of the config array, so every Icache
-   is touched by exactly one domain and no merge of cache state is needed —
-   the config-list order of [caches] is untouched.  Shard telemetry
+   once and feeds a contiguous slice of the simulation — per-config caches
+   for the icache engine, per-line-size distance-stack groups for the
+   stackdist engine — so every mutable simulator is touched by exactly one
+   domain and no merge of simulator state is needed.  Shard telemetry
    (cachesim.* counters) merges in shard order via [Pool.map], keeping the
    totals identical to a serial replay.  Falls back to one serial pass at
-   [jobs = 1], from inside another pool task, or for a single config. *)
-let access_trace ?pool ?(keep = fun (_ : Olayout_exec.Run.t) -> true) t trace =
-  let n = Array.length t.caches in
-  let feed (lo, hi) =
-    Trace.replay trace (fun run ->
-        if keep run then
-          for i = lo to hi do
-            Icache.access_run t.caches.(i) run
-          done)
-  in
+   [jobs = 1], from inside another pool task, or for a single unit. *)
+let shard_replay ?pool n feed =
   if n > 0 then
     match pool with
     | Some p when Pool.jobs p > 1 && n > 1 ->
@@ -33,20 +52,69 @@ let access_trace ?pool ?(keep = fun (_ : Olayout_exec.Run.t) -> true) t trace =
         in
         ignore (Pool.map p feed ranges)
     | _ -> feed (0, n - 1)
-let flush_residents t = Array.iter Icache.flush_residents t.caches
-let caches t = Array.to_list t.caches
+
+let access_trace ?pool ?(keep = fun (_ : Olayout_exec.Run.t) -> true) t trace =
+  match t.backend with
+  | Caches caches ->
+      shard_replay ?pool (Array.length caches) (fun (lo, hi) ->
+          Trace.replay trace (fun run ->
+              if keep run then
+                for i = lo to hi do
+                  Icache.access_run caches.(i) run
+                done))
+  | Stack sd ->
+      shard_replay ?pool (Stackdist.n_groups sd) (fun (lo, hi) ->
+          Trace.replay trace (fun run ->
+              if keep run then
+                for g = lo to hi do
+                  Stackdist.access_run_group sd g run
+                done))
+
+let flush_residents t =
+  match t.backend with
+  | Caches caches -> Array.iter Icache.flush_residents caches
+  | Stack _ -> ()  (* no per-line residency state to retire *)
+
+let caches_exn t what =
+  match t.backend with
+  | Caches caches -> caches
+  | Stack _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Battery.%s: the stackdist engine keeps no per-config caches (use \
+            misses/misses_by_config, or ~engine:`Icache)"
+           what)
+
+let caches t = Array.to_list (caches_exn t "caches")
 
 let find t name =
+  let caches = caches_exn t "find" in
   match
-    Array.find_opt (fun c -> String.equal (Icache.cfg c).Icache.name name) t.caches
+    Array.find_opt (fun c -> String.equal (Icache.cfg c).Icache.name name) caches
   with
   | Some c -> c
   | None ->
       let available =
-        Array.to_list t.caches
+        Array.to_list caches
         |> List.map (fun c -> (Icache.cfg c).Icache.name)
         |> String.concat ", "
       in
       invalid_arg
         (Printf.sprintf "Battery.find: no cache configuration %S (available: %s)" name
            (if available = "" then "none" else available))
+
+let misses t name =
+  match t.backend with
+  | Caches _ -> Icache.misses (find t name)
+  | Stack sd -> Stackdist.misses sd name
+
+let cold_misses t name =
+  match t.backend with
+  | Caches _ -> Icache.cold_misses (find t name)
+  | Stack sd -> Stackdist.cold_misses sd name
+
+let misses_by_config t =
+  match t.backend with
+  | Caches caches ->
+      Array.to_list (Array.map (fun c -> (Icache.cfg c, Icache.misses c)) caches)
+  | Stack sd -> Stackdist.misses_by_config sd

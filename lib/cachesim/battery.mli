@@ -2,28 +2,74 @@
 
     The paper's figures sweep cache size, line size and associativity; the
     battery lets one executor walk feed every configuration at once, so a
-    whole figure costs one trace generation. *)
+    whole figure costs one trace generation.
+
+    Two engines produce the miss counts:
+
+    - [`Icache] — one full {!Icache} per configuration: every per-stream,
+      displacement, usage and prefetch statistic is available through
+      {!caches}/{!find}.
+    - [`Stackdist] — one {!Stackdist} all-associativity simulation,
+      grouped by line size: a single pass per line size yields the miss
+      count of every configuration sharing it.  Far cheaper for dense
+      sweeps, but only {!misses}, {!cold_misses} and {!misses_by_config}
+      are available.  Both engines implement exact per-set LRU, so their
+      miss counts are byte-identical — the cross-engine CI gate enforces
+      it. *)
 
 type t
 
-val create : ?track_usage:bool -> Icache.config list -> t
+type engine = [ `Icache | `Stackdist ]
+
+val engine_name : engine -> string
+(** ["icache"] / ["stackdist"] — the spelling of the [--engine] flags. *)
+
+val create : ?engine:engine -> ?track_usage:bool -> Icache.config list -> t
+(** Default engine [`Icache] (the fully-instrumented backend).
+    @raise Invalid_argument for [~track_usage:true] with [`Stackdist]
+    (usage histograms need per-line cache state). *)
+
+val engine : t -> engine
 val access_run : t -> Olayout_exec.Run.t -> unit
 
 (** Replay a recorded trace through every configuration.  With a pool of
-    [jobs > 1], the config array is split into [<= jobs] disjoint contiguous
-    shards replayed on separate domains — each cache owned by exactly one
-    domain, results (and per-shard telemetry) merged in config-list order —
-    producing byte-identical cache state to a serial replay.  [keep] filters
-    runs (e.g. application-owned only) before they reach the caches. *)
+    [jobs > 1], the simulation splits into [<= jobs] disjoint contiguous
+    shards replayed on separate domains — per-config caches for the
+    icache engine, per-line-size distance-stack groups for stackdist,
+    each owned by exactly one domain, per-shard telemetry merged in shard
+    order — producing byte-identical state to a serial replay.  [keep]
+    filters runs (e.g. application-owned only) before they reach the
+    simulators. *)
 val access_trace :
   ?pool:Olayout_par.Pool.t ->
   ?keep:(Olayout_exec.Run.t -> bool) ->
   t ->
   Olayout_exec.Trace.t ->
   unit
+
 val flush_residents : t -> unit
+(** Retire still-resident lines into the usage histograms (icache engine);
+    a no-op for stackdist, which keeps no residency state. *)
+
+(** {1 Engine-agnostic results} *)
+
+val misses : t -> string -> int
+(** Miss count of the named configuration, whatever the engine.
+    @raise Invalid_argument when the name is unknown. *)
+
+val cold_misses : t -> string -> int
+(** Compulsory (first-reference) misses of the named configuration.
+    @raise Invalid_argument when the name is unknown. *)
+
+val misses_by_config : t -> (Icache.config * int) list
+(** All (configuration, miss count) pairs in creation order. *)
+
+(** {1 Icache-engine access (raise for stackdist)} *)
+
 val caches : t -> Icache.t list
+(** @raise Invalid_argument under the stackdist engine. *)
+
 val find : t -> string -> Icache.t
 (** Lookup by configuration name.
-    @raise Invalid_argument when absent, naming the requested configuration
-    and the available cache names. *)
+    @raise Invalid_argument when absent (naming the requested configuration
+    and the available cache names) or under the stackdist engine. *)

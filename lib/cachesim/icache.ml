@@ -155,10 +155,7 @@ let install t owner line_addr ~as_prefetch =
     if t.last_use.(base + i) < t.last_use.(base + !victim) then victim := i
   done;
   let slot = base + if !invalid >= 0 then !invalid else !victim in
-  if t.tags.(slot) = -1 then begin
-    if not as_prefetch then t.cold <- t.cold + 1
-  end
-  else begin
+  if t.tags.(slot) <> -1 then begin
     if not as_prefetch then begin
       t.displaced.((owner_code owner * 2) + t.owners.(slot)) <-
         t.displaced.((owner_code owner * 2) + t.owners.(slot)) + 1
@@ -167,7 +164,10 @@ let install t owner line_addr ~as_prefetch =
     | Some f ->
         f ~evictor:(line_addr lsl t.line_shift) ~victim:(t.tags.(slot) lsl t.line_shift)
     | None -> ());
-    retire t slot
+    (* A line prefetched and never demand-referenced carries no usage
+       signal: retiring it would record a words_used = 0, lifetime ~ 0
+       entry and skew the Fig 9/11 fractions. *)
+    if not t.prefetched.(slot) then retire t slot
   end;
   t.tags.(slot) <- line_addr;
   t.owners.(slot) <- owner_code owner;
@@ -225,6 +225,11 @@ let touch t owner line_addr w0 w1 =
   else begin
     t.misses <- t.misses + 1;
     Telemetry.incr c_misses;
+    (* Compulsory miss: first-ever demand reference to the line, wherever
+       it lands — an empty slot or (once the cache is warm) an occupied
+       one.  Lines first seen as prefetch hits never miss, so never count
+       as cold. *)
+    if not (Hashtbl.mem t.seen_lines line_addr) then t.cold <- t.cold + 1;
     (match owner with
     | Run.App -> t.miss_app <- t.miss_app + 1
     | Run.Kernel -> t.miss_kernel <- t.miss_kernel + 1);
@@ -261,9 +266,12 @@ let flush_residents t =
   Array.iteri
     (fun slot tag ->
       if tag <> -1 then begin
-        retire t slot;
+        (* Same exclusion as replacement: a prefetched-but-never-referenced
+           line contributes no usage observation. *)
+        if not t.prefetched.(slot) then retire t slot;
         t.tags.(slot) <- -1;
-        t.use_mask.(slot) <- 0
+        t.use_mask.(slot) <- 0;
+        t.prefetched.(slot) <- false
       end)
     t.tags
 

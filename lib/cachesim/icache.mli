@@ -58,8 +58,10 @@ val access_run : t -> Olayout_exec.Run.t -> unit
 
 val flush_residents : t -> unit
 (** Account all still-resident lines as if replaced, so the usage histograms
-    cover every line ever filled.  Call once at end of simulation, before
-    reading the usage statistics. *)
+    cover every demand-referenced line ever filled (prefetched lines never
+    demand-referenced are excluded, as on replacement — they carry no usage
+    signal).  Call once at end of simulation, before reading the usage
+    statistics. *)
 
 (** Aggregate counters. *)
 
@@ -67,7 +69,12 @@ val cfg : t -> config
 val accesses : t -> int
 val misses : t -> int
 val misses_of : t -> Olayout_exec.Run.owner -> int
+
 val cold_misses : t -> int
+(** Compulsory misses: demand misses whose line had never been referenced
+    before, wherever the fill lands (not "fills into empty slots" — a
+    first-ever reference arriving once the cache is warm is still cold).
+    Without prefetching this equals {!unique_lines}. *)
 
 val displaced : t -> miss:Olayout_exec.Run.owner -> victim:Olayout_exec.Run.owner -> int
 (** Replacements in which a miss from [miss] evicted a line owned by

@@ -46,6 +46,7 @@ let g_trace_peak = Telemetry.gauge "context.trace_peak_bytes"
 type t = {
   scale : scale;
   seed : int;
+  engine : Olayout_cachesim.Battery.engine;
   workload : Workload.t;
   app_profile : Profile.t;
   kernel_profile : Profile.t;
@@ -63,7 +64,7 @@ let measured_txns_of = function Quick -> 100 | Full -> 1000
    simulated live instead of being recorded. *)
 let max_trace_cache_bytes = 1 lsl 30
 
-let create ?(scale = Full) ?(seed = 7) () =
+let create ?(scale = Full) ?(seed = 7) ?(engine = `Stackdist) () =
   Telemetry.span "context.create" (fun () ->
       let workload = Workload.create ~seed () in
       let app_profile, kernel_profile =
@@ -73,6 +74,7 @@ let create ?(scale = Full) ?(seed = 7) () =
       {
         scale;
         seed;
+        engine;
         workload;
         app_profile;
         kernel_profile;
@@ -84,6 +86,7 @@ let create ?(scale = Full) ?(seed = 7) () =
       })
 
 let scale t = t.scale
+let engine t = t.engine
 let workload t = t.workload
 let app_profile t = t.app_profile
 let kernel_profile t = t.kernel_profile

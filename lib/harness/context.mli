@@ -26,9 +26,23 @@ type scale = Quick | Full
 
 type t
 
-val create : ?scale:scale -> ?seed:int -> unit -> t
+val create :
+  ?scale:scale ->
+  ?seed:int ->
+  ?engine:Olayout_cachesim.Battery.engine ->
+  unit ->
+  t
+(** [engine] selects the battery backend the sweep figures (fig4/5, fig6,
+    fig7) use for their miss grids — default [`Stackdist], the single-pass
+    engine, since those figures consume miss counts only.  Figures needing
+    displacement, usage or owner detail always use [`Icache] regardless. *)
 
 val scale : t -> scale
+
+val engine : t -> Olayout_cachesim.Battery.engine
+(** The battery engine miss-count-only figures pass to
+    {!Olayout_cachesim.Battery.create}. *)
+
 val workload : t -> Olayout_oltp.Workload.t
 val app_profile : t -> Profile.t
 val kernel_profile : t -> Profile.t

@@ -21,7 +21,9 @@ let app_only battery = Context.app_only (Battery.access_run battery)
 let app_run (run : Run.t) = run.Run.owner = Run.App
 
 let run ?pool ctx =
-  let b_base = Battery.create configs and b_opt = Battery.create configs in
+  let engine = Context.engine ctx in
+  let b_base = Battery.create ~engine configs
+  and b_opt = Battery.create ~engine configs in
   (match Context.traces_for ctx [ Spike.Base; Spike.All ] with
   | [ Some _; Some _ ] ->
       ignore (Context.replay_battery ctx ?pool ~keep:app_run ~combo:Spike.Base b_base);
@@ -32,7 +34,7 @@ let run ?pool ctx =
            ~renders:[ (Spike.Base, app_only b_base); (Spike.All, app_only b_opt) ]
            ()));
   let find battery size_kb assoc =
-    Icache.misses (Battery.find battery (Icache.config ~size_kb ~line:128 ~assoc ()).Icache.name)
+    Battery.misses battery (Icache.config ~size_kb ~line:128 ~assoc ()).Icache.name
   in
   let r =
     {
@@ -44,13 +46,14 @@ let run ?pool ctx =
   in
   (* Fidelity gauges at the 64 KB point: what 4-way buys the baseline
      (paper: nothing - capacity dominates) vs what layout buys over even
-     the 4-way baseline. *)
-  let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+     the 4-way baseline.  A zero-miss denominator means "no data": omit
+     the gauge (scoreboard skips) rather than publish a bogus 0. *)
   (match List.find_opt (fun (s, _, _, _, _) -> s = 64) r.rows with
-  | Some (_, b1, b4, o1, _) ->
+  | Some (_, b1, b4, o1, _) when b4 > 0 ->
+      let ratio a b = float_of_int a /. float_of_int b in
       Telemetry.set_gauge (Telemetry.gauge "fig.fig6.base_dm_vs_4way_64k") (ratio b1 b4);
       Telemetry.set_gauge (Telemetry.gauge "fig.fig6.opt_dm_vs_base_4way_64k") (ratio o1 b4)
-  | None -> ());
+  | Some _ | None -> ());
   r
 
 let tables r =

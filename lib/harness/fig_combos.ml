@@ -21,7 +21,10 @@ let app_only battery = Context.app_only (Battery.access_run battery)
 let app_run (run : Run.t) = run.Run.owner = Run.App
 
 let run ?pool ctx =
-  let batteries = List.map (fun combo -> (combo, Battery.create configs)) Spike.all_combos in
+  let engine = Context.engine ctx in
+  let batteries =
+    List.map (fun combo -> (combo, Battery.create ~engine configs)) Spike.all_combos
+  in
   let traces = Context.traces_for ctx Spike.all_combos in
   if List.for_all Option.is_some traces then
     List.iter
@@ -34,7 +37,7 @@ let run ?pool ctx =
          ~renders:(List.map (fun (combo, b) -> (combo, app_only b)) batteries)
          ());
   let find b size_kb =
-    Icache.misses (Battery.find b (Icache.config ~size_kb ~line:128 ~assoc:4 ()).Icache.name)
+    Battery.misses b (Icache.config ~size_kb ~line:128 ~assoc:4 ()).Icache.name
   in
   let r =
     {

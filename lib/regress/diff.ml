@@ -36,6 +36,8 @@ type t = {
   new_art : Artifact.t;
   entries : entry list;
   identity_warnings : string list;
+  ignored_prefixes : string list;
+  ignored : int;  (* metric paths dropped by the prefixes, both sides *)
 }
 
 let default_tolerance = 0.25
@@ -111,7 +113,8 @@ let identity_warnings (old_art : Artifact.t) (new_art : Artifact.t) =
       :: !w;
   List.rev !w
 
-let compare_artifacts ?(tolerance = default_tolerance) ~old_art ~new_art () =
+let compare_artifacts ?(tolerance = default_tolerance) ?(ignore_prefixes = [])
+    ~old_art ~new_art () =
   if old_art.Artifact.schema <> new_art.Artifact.schema then
     raise
       (Artifact.Load_error
@@ -155,12 +158,30 @@ let compare_artifacts ?(tolerance = default_tolerance) ~old_art ~new_art () =
             :: acc)
             olds news'
   in
+  (* Prefix filtering runs before the join: metrics two runs legitimately
+     disagree on (e.g. counters.cachesim.* between the icache and
+     stackdist engines) drop out entirely instead of surfacing as Drift,
+     while everything else still gates. *)
+  let has_prefix p path =
+    let lp = String.length p in
+    String.length path >= lp && String.sub path 0 lp = p
+  in
+  let keep (path, _) = not (List.exists (fun p -> has_prefix p path) ignore_prefixes) in
+  let olds = List.filter keep old_art.Artifact.metrics in
+  let news = List.filter keep new_art.Artifact.metrics in
+  let ignored =
+    List.length old_art.Artifact.metrics
+    + List.length new_art.Artifact.metrics
+    - List.length olds - List.length news
+  in
   {
     tolerance;
     old_art;
     new_art;
-    entries = merge [] old_art.Artifact.metrics new_art.Artifact.metrics;
+    entries = merge [] olds news;
     identity_warnings = identity_warnings old_art new_art;
+    ignored_prefixes = ignore_prefixes;
+    ignored;
   }
 
 let with_status st t = List.filter (fun e -> e.e_status = st) t.entries
@@ -210,6 +231,8 @@ let to_json ?fidelity ?(gated = false) ?(gate_failed = false) t =
     ([
        ("schema", Json.String schema);
        ("tolerance", Json.Float t.tolerance);
+       ( "ignore_prefixes",
+         Json.Array (List.map (fun p -> Json.String p) t.ignored_prefixes) );
        ("old", side_json t.old_art);
        ("new", side_json t.new_art);
        ( "identity_warnings",
@@ -223,6 +246,7 @@ let to_json ?fidelity ?(gated = false) ?(gate_failed = false) t =
              ("timing_exceeds_tolerance", Json.Int (count t Exceeds_tolerance));
              ("added", Json.Int (count t Added));
              ("removed", Json.Int (count t Removed));
+             ("ignored", Json.Int t.ignored);
            ] );
        ( "gate",
          Json.Object
@@ -282,4 +306,8 @@ let pp ppf t =
      beyond; %d added, %d removed@."
     (count t Equal) (count t Drift) (count t Within_tolerance)
     (100.0 *. t.tolerance) (count t Exceeds_tolerance) (count t Added)
-    (count t Removed)
+    (count t Removed);
+  if t.ignored_prefixes <> [] then
+    Format.fprintf ppf "compare: %d metric path(s) ignored by prefix (%s)@."
+      t.ignored
+      (String.concat ", " t.ignored_prefixes)

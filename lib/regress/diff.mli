@@ -39,6 +39,8 @@ type t = {
   new_art : Artifact.t;
   entries : entry list;  (** every aligned metric, sorted by path *)
   identity_warnings : string list;
+  ignored_prefixes : string list;  (** as passed to {!compare_artifacts} *)
+  ignored : int;  (** metric paths dropped by the prefixes, both sides *)
 }
 
 val default_tolerance : float
@@ -48,8 +50,17 @@ val classify : string -> klass
 (** Classification by metric path (first dot-segment plus leaf suffix). *)
 
 val compare_artifacts :
-  ?tolerance:float -> old_art:Artifact.t -> new_art:Artifact.t -> unit -> t
-(** Raises {!Artifact.Load_error} when the two artifacts have different
+  ?tolerance:float ->
+  ?ignore_prefixes:string list ->
+  old_art:Artifact.t ->
+  new_art:Artifact.t ->
+  unit ->
+  t
+(** [ignore_prefixes] drops metric paths starting with any of the given
+    prefixes from both sides before alignment — for comparisons where a
+    metric family legitimately differs (e.g. [counters.cachesim.] between
+    the two battery engines) while everything else must still gate.
+    Raises {!Artifact.Load_error} when the two artifacts have different
     schemas (a bench run cannot be diffed against a diag run). *)
 
 val gate_failures : ?timing:bool -> t -> entry list

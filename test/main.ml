@@ -11,6 +11,7 @@ let () =
       Test_profile.suite;
       Test_exec.suite;
       Test_cachesim.suite;
+      Test_stackdist.suite;
       Test_memsim.suite;
       Test_diag.suite;
       Test_db.suite;

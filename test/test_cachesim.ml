@@ -160,6 +160,81 @@ let test_on_evict_covers_prefetch_installs () =
     [ (64, 1088) ]
     !evts
 
+(* --- cold-miss semantics: compulsory = first-ever demand reference --- *)
+
+let test_cold_counts_conflict_first_reference () =
+  (* Regression: cold misses used to count fills into empty slots, so a
+     first-ever reference landing on an occupied slot (a conflict victim's
+     frame) was misclassified as a conflict miss. *)
+  let c = Icache.create (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ()) in
+  Icache.access_run c (app_run 0 1);
+  Alcotest.(check int) "first line cold" 1 (Icache.cold_misses c);
+  (* Line 16 maps to the same set; the slot is occupied, but this is still
+     the line's first-ever reference: compulsory. *)
+  Icache.access_run c (app_run 1024 1);
+  Alcotest.(check int) "conflict fill still compulsory" 2 (Icache.cold_misses c);
+  (* Re-missing an already-seen line is a conflict miss, never cold. *)
+  Icache.access_run c (app_run 0 1);
+  Alcotest.(check int) "re-miss not cold" 2 (Icache.cold_misses c);
+  Alcotest.(check int) "three misses" 3 (Icache.misses c);
+  Alcotest.(check int) "cold = unique lines (no prefetch)"
+    (Icache.unique_lines c) (Icache.cold_misses c)
+
+let test_prefetch_hit_line_never_cold () =
+  let c =
+    Icache.create ~prefetch_next:1 (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ())
+  in
+  Icache.access_run c (app_run 0 1);   (* cold; prefetches line 1 *)
+  Icache.access_run c (app_run 64 1);  (* prefetch hit: no miss, so no cold *)
+  Alcotest.(check int) "only the demand miss is cold" 1 (Icache.cold_misses c);
+  (* Evict line 1 with its set-1 conflict partner, then re-reference it:
+     the line was demand-referenced before, so the re-miss is a conflict. *)
+  Icache.access_run c (app_run 1088 1);  (* line 17: first reference, cold *)
+  Icache.access_run c (app_run 64 1);    (* line 1 again: conflict, not cold *)
+  Alcotest.(check int) "re-miss of prefetch-seen line not cold" 2
+    (Icache.cold_misses c);
+  Alcotest.(check int) "misses" 3 (Icache.misses c)
+
+(* --- usage accounting excludes prefetched-never-referenced lines --- *)
+
+let test_usage_excludes_pure_prefetch_victim () =
+  (* Regression: replacing a prefetched line that was never demand-
+     referenced used to retire it into the usage histograms as a
+     words_used = 0 observation. *)
+  let c =
+    Icache.create ~track_usage:true ~prefetch_next:1
+      (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ())
+  in
+  Icache.access_run c (app_run 0 1);     (* line 0 demand; line 1 prefetched *)
+  Icache.access_run c (app_run 1088 1);  (* line 17 replaces pure-prefetch line 1 *)
+  Icache.flush_residents c;
+  let h = Icache.words_used_histogram c in
+  Alcotest.(check int) "no zero-word observations" 0
+    (Olayout_metrics.Histogram.count h 0);
+  Alcotest.(check int) "both demand lines, one word each" 2
+    (Olayout_metrics.Histogram.count h 1);
+  Alcotest.(check int) "only demand lines observed" 2
+    (Olayout_metrics.Histogram.total h)
+
+let test_flush_excludes_pure_prefetch () =
+  let c =
+    Icache.create ~track_usage:true ~prefetch_next:1
+      (Icache.config ~size_kb:1 ~line:64 ~assoc:1 ())
+  in
+  Icache.access_run c (app_run 0 1);  (* line 0 demand; line 1 prefetched *)
+  Icache.flush_residents c;
+  let h = Icache.words_used_histogram c in
+  Alcotest.(check int) "flush skips the speculative line" 1
+    (Olayout_metrics.Histogram.total h);
+  Alcotest.(check int) "no zero-word observations" 0
+    (Olayout_metrics.Histogram.count h 0);
+  (* The flushed slot's prefetch flag is cleared: a line demand-filled into
+     the same frame later retires normally. *)
+  Icache.access_run c (app_run 64 1);  (* line 1, demand this time *)
+  Icache.flush_residents c;
+  Alcotest.(check int) "demand refill retires" 2
+    (Olayout_metrics.Histogram.count h 1)
+
 let test_battery () =
   let b =
     Battery.create
@@ -310,6 +385,14 @@ let suite =
       Alcotest.test_case "on_evict hook" `Quick test_on_evict_hook;
       Alcotest.test_case "on_evict covers prefetch installs" `Quick
         test_on_evict_covers_prefetch_installs;
+      Alcotest.test_case "cold counts conflict first reference" `Quick
+        test_cold_counts_conflict_first_reference;
+      Alcotest.test_case "prefetch-hit line never cold" `Quick
+        test_prefetch_hit_line_never_cold;
+      Alcotest.test_case "usage excludes pure-prefetch victim" `Quick
+        test_usage_excludes_pure_prefetch_victim;
+      Alcotest.test_case "flush excludes pure prefetch" `Quick
+        test_flush_excludes_pure_prefetch;
       Alcotest.test_case "battery" `Quick test_battery;
       Alcotest.test_case "prefetch next line" `Quick test_prefetch_next_line;
       Alcotest.test_case "prefetch covers run" `Quick test_prefetch_covers_run;

@@ -156,6 +156,28 @@ let test_battery_shards () =
             true (s = sh))
         (List.combine serial sharded))
 
+(* The stackdist engine shards by line-size group instead of by cache;
+   serial, sharded and the icache engine must all agree on every miss
+   count, including under a keep filter. *)
+let test_stackdist_battery_shards () =
+  let trace = synthetic_trace 100_000 in
+  let keep (r : Run.t) = r.Run.owner = Run.App in
+  let replay engine pool =
+    let b = Battery.create ~engine battery_configs in
+    Battery.access_trace ?pool ~keep b trace;
+    List.map snd (Battery.misses_by_config b)
+  in
+  let icache = replay `Icache None in
+  let serial = replay `Stackdist None in
+  Alcotest.(check (list int)) "stackdist = icache (serial)" icache serial;
+  with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int))
+        "stackdist sharded = serial" serial
+        (replay `Stackdist (Some p));
+      Alcotest.(check (list int))
+        "icache sharded = stackdist sharded" serial
+        (replay `Icache (Some p)))
+
 (* --- trace retention -------------------------------------------------- *)
 
 let test_retention () =
@@ -297,6 +319,8 @@ let suite =
       Alcotest.test_case "serial pool" `Quick test_serial_pool;
       Alcotest.test_case "telemetry merge" `Quick test_telemetry_merge;
       Alcotest.test_case "battery shard equivalence" `Slow test_battery_shards;
+      Alcotest.test_case "stackdist shard + cross-engine equivalence" `Slow
+        test_stackdist_battery_shards;
       Alcotest.test_case "trace retention" `Slow test_retention;
       Alcotest.test_case "report determinism -j1 vs -j4" `Slow
         test_report_determinism;

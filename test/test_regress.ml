@@ -251,6 +251,34 @@ let test_diff_perturbed_counter () =
       Alcotest.(check bool) "flagged as drift" true (e.Diff.e_status = Diff.Drift)
   | l -> Alcotest.failf "expected exactly one gate failure, got %d" (List.length l)
 
+let test_diff_ignore_prefixes () =
+  (* The cross-engine CI leg: engine-specific simulator counters differ
+     between the two battery backends, but everything else must gate. *)
+  let a = Artifact.of_json (mk_bench ()) in
+  let b = Artifact.of_json (mk_bench ~misses:22264629 ()) in
+  let d =
+    Diff.compare_artifacts
+      ~ignore_prefixes:[ "counters.cachesim." ]
+      ~old_art:a ~new_art:b ()
+  in
+  Alcotest.(check int) "perturbed counter no longer gates" 0
+    (List.length (Diff.gate_failures d));
+  Alcotest.(check bool) "dropped paths counted" true (d.Diff.ignored > 0);
+  Alcotest.(check bool) "ignored paths are absent from entries" true
+    (List.for_all
+       (fun e ->
+         not
+           (String.length e.Diff.e_path >= 18
+           && String.sub e.Diff.e_path 0 18 = "counters.cachesim."))
+       d.Diff.entries);
+  (* the prefixes are recorded in the compare document *)
+  let doc = Json.parse (Json.to_string (Diff.to_json d)) in
+  Alcotest.(check (option string))
+    "prefixes recorded" (Some "counters.cachesim.")
+    (match Json.member "ignore_prefixes" doc with
+    | Some (Json.Array [ Json.String p ]) -> Some p
+    | _ -> None)
+
 let test_diff_tolerance () =
   let a = Artifact.of_json (mk_bench ~total:10.0 ~fig_seconds:1.0 ()) in
   let b = Artifact.of_json (mk_bench ~total:11.0 ~fig_seconds:2.0 ()) in
@@ -511,6 +539,8 @@ let suite =
       Alcotest.test_case "identical artifacts: no drift" `Quick test_diff_identical;
       Alcotest.test_case "perturbed counter gates" `Quick
         test_diff_perturbed_counter;
+      Alcotest.test_case "ignore prefixes skip engine counters" `Quick
+        test_diff_ignore_prefixes;
       Alcotest.test_case "timing tolerance" `Quick test_diff_tolerance;
       Alcotest.test_case "identity warnings and schema mismatch" `Quick
         test_diff_identity_and_schema;

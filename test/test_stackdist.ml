@@ -1,0 +1,221 @@
+(* Tests for the stack-distance all-associativity engine: unit checks of
+   the per-set LRU identity, the fully-associative degenerate case vs the
+   diagnostics Shadow LRU, a randomized exact-equality cross-check against
+   Icache over mixed geometries, and the engine-selecting Battery API. *)
+
+module Icache = Olayout_cachesim.Icache
+module Stackdist = Olayout_cachesim.Stackdist
+module Battery = Olayout_cachesim.Battery
+module Shadow = Olayout_diag.Shadow
+module Run = Olayout_exec.Run
+
+let app_run addr len = { Run.owner = Run.App; addr; len }
+
+let cfg ?name ~size_kb ~line ~assoc () = Icache.config ?name ~size_kb ~line ~assoc ()
+
+let test_direct_mapped_conflict () =
+  (* Mirrors the icache unit test: 1KB direct-mapped, 64B lines = 16 sets;
+     addresses 0 and 1024 collide and ping-pong. *)
+  let sd = Stackdist.create [ cfg ~name:"c" ~size_kb:1 ~line:64 ~assoc:1 () ] in
+  Stackdist.access_run sd (app_run 0 1);
+  Stackdist.access_run sd (app_run 1024 1);
+  Stackdist.access_run sd (app_run 0 1);
+  Alcotest.(check int) "ping-pong" 3 (Stackdist.misses sd "c");
+  Alcotest.(check int) "two cold" 2 (Stackdist.cold_misses sd "c")
+
+let test_two_way_no_conflict () =
+  let sd = Stackdist.create [ cfg ~name:"c" ~size_kb:1 ~line:64 ~assoc:2 () ] in
+  Stackdist.access_run sd (app_run 0 1);
+  Stackdist.access_run sd (app_run 1024 1);
+  Stackdist.access_run sd (app_run 0 1);
+  Alcotest.(check int) "both fit" 2 (Stackdist.misses sd "c")
+
+let test_one_pass_many_geometries () =
+  (* One pass answers every geometry at the shared line size at once. *)
+  let sd =
+    Stackdist.create
+      [
+        cfg ~name:"dm" ~size_kb:1 ~line:64 ~assoc:1 ();
+        cfg ~name:"2way" ~size_kb:1 ~line:64 ~assoc:2 ();
+        cfg ~name:"big" ~size_kb:4 ~line:64 ~assoc:1 ();
+      ]
+  in
+  Stackdist.access_run sd (app_run 0 1);
+  Stackdist.access_run sd (app_run 1024 1);
+  Stackdist.access_run sd (app_run 0 1);
+  Alcotest.(check int) "dm conflicts" 3 (Stackdist.misses sd "dm");
+  Alcotest.(check int) "2-way fits" 2 (Stackdist.misses sd "2way");
+  Alcotest.(check int) "4KB has distinct sets" 2 (Stackdist.misses sd "big");
+  Alcotest.(check int) "one group" 1 (Stackdist.n_groups sd);
+  Alcotest.(check int) "three accesses in the group" 3 (Stackdist.accesses sd);
+  Alcotest.(check (list (pair string int)))
+    "creation order preserved"
+    [ ("dm", 3); ("2way", 2); ("big", 2) ]
+    (List.map
+       (fun ((c : Icache.config), m) -> (c.Icache.name, m))
+       (Stackdist.misses_by_config sd))
+
+let test_run_spanning_lines () =
+  let sd = Stackdist.create [ cfg ~name:"c" ~size_kb:1 ~line:64 ~assoc:1 () ] in
+  (* 40 instructions from 0: 160 bytes = lines 0,1,2 *)
+  Stackdist.access_run sd (app_run 0 40);
+  Alcotest.(check int) "three lines missed" 3 (Stackdist.misses sd "c");
+  Alcotest.(check int) "three accesses" 3 (Stackdist.accesses sd)
+
+let test_groups_by_line_size () =
+  let sd =
+    Stackdist.create
+      [
+        cfg ~size_kb:1 ~line:32 ~assoc:1 ();
+        cfg ~size_kb:2 ~line:64 ~assoc:1 ();
+        cfg ~size_kb:4 ~line:32 ~assoc:2 ();
+      ]
+  in
+  Alcotest.(check int) "two line sizes, two groups" 2 (Stackdist.n_groups sd)
+
+let test_unknown_name_raises () =
+  let sd = Stackdist.create [ cfg ~name:"only" ~size_kb:1 ~line:64 ~assoc:1 () ] in
+  Alcotest.(check bool) "raises with available names" true
+    (try
+       ignore (Stackdist.misses sd "nope");
+       false
+     with Invalid_argument msg ->
+       let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       contains msg "nope" && contains msg "only")
+
+let test_bad_configs () =
+  List.iter
+    (fun (size_kb, line, assoc) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/%d/%d rejected" size_kb line assoc)
+        true
+        (try
+           ignore (Stackdist.create [ cfg ~size_kb ~line ~assoc () ]);
+           false
+         with Invalid_argument _ -> true))
+    [ (3, 64, 1); (1, 48, 1); (1, 2048, 1); (1, 2, 1) ]
+
+(* --- fully-associative degenerate case = the diagnostics Shadow LRU --- *)
+
+let test_fully_assoc_matches_shadow () =
+  (* 1KB of 64B lines, 16-way = one set: the classic Mattson stack, which
+     is exactly what Shadow implements with eviction. *)
+  let capacity = 16 in
+  let sd = Stackdist.create [ cfg ~name:"fa" ~size_kb:1 ~line:64 ~assoc:capacity () ] in
+  let sh = Shadow.create ~capacity in
+  let shadow_misses = ref 0 in
+  let state = ref 42 in
+  let rand m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  for _ = 1 to 5000 do
+    let line = rand 64 in
+    if not (Shadow.mem sh line) then incr shadow_misses;
+    Shadow.touch sh line;
+    Stackdist.access_run sd (app_run (line * 64) 1)
+  done;
+  Alcotest.(check int) "stackdist = shadow" !shadow_misses (Stackdist.misses sd "fa")
+
+(* --- randomized exact equality against Icache ------------------------- *)
+
+let mixed_configs =
+  [
+    cfg ~size_kb:1 ~line:16 ~assoc:1 ();
+    cfg ~size_kb:2 ~line:16 ~assoc:2 ();
+    cfg ~size_kb:4 ~line:16 ~assoc:4 ();
+    cfg ~size_kb:1 ~line:64 ~assoc:1 ();
+    cfg ~size_kb:2 ~line:64 ~assoc:4 ();
+    cfg ~size_kb:8 ~line:64 ~assoc:2 ();
+    cfg ~size_kb:1 ~line:128 ~assoc:8 ();
+    cfg ~size_kb:16 ~line:128 ~assoc:1 ();
+  ]
+
+let qcheck_matches_icache =
+  let gen =
+    QCheck.make
+      ~print:(fun runs ->
+        String.concat ";" (List.map (fun (a, l) -> Printf.sprintf "(%d,%d)" a l) runs))
+      QCheck.Gen.(list_size (int_range 1 400) (pair (int_range 0 8000) (int_range 1 40)))
+  in
+  QCheck.Test.make ~name:"stackdist = icache misses and cold (mixed geometries)"
+    ~count:40 gen (fun runs ->
+      let sd = Stackdist.create mixed_configs in
+      let caches = List.map Icache.create mixed_configs in
+      List.iter
+        (fun (block, len) ->
+          let run = app_run (block * 4) len in
+          Stackdist.access_run sd run;
+          List.iter (fun c -> Icache.access_run c run) caches)
+        runs;
+      List.for_all2
+        (fun c ((scfg : Icache.config), m) ->
+          (Icache.cfg c).Icache.name = scfg.Icache.name
+          && Icache.misses c = m
+          && Icache.cold_misses c = Stackdist.cold_misses sd scfg.Icache.name)
+        caches
+        (Stackdist.misses_by_config sd))
+
+(* --- the engine-selecting Battery API ---------------------------------- *)
+
+let test_battery_engines_agree () =
+  let feed b =
+    Battery.access_run b (app_run 0 1);
+    Battery.access_run b (app_run 1024 1);
+    Battery.access_run b (app_run 0 40);
+    Battery.access_run b (app_run 4096 16)
+  in
+  let bi = Battery.create ~engine:`Icache mixed_configs in
+  let bs = Battery.create ~engine:`Stackdist mixed_configs in
+  feed bi;
+  feed bs;
+  Alcotest.(check bool) "engine accessor" true (Battery.engine bs = `Stackdist);
+  List.iter2
+    (fun ((c : Icache.config), mi) (_, ms) ->
+      Alcotest.(check int) (c.Icache.name ^ " misses agree") mi ms;
+      Alcotest.(check int)
+        (c.Icache.name ^ " cold agree")
+        (Battery.cold_misses bi c.Icache.name)
+        (Battery.cold_misses bs c.Icache.name))
+    (Battery.misses_by_config bi)
+    (Battery.misses_by_config bs)
+
+let test_battery_stackdist_restrictions () =
+  let raises f =
+    try
+      f ();
+      false
+    with Invalid_argument _ -> true
+  in
+  let b = Battery.create ~engine:`Stackdist [ cfg ~size_kb:1 ~line:64 ~assoc:1 () ] in
+  Alcotest.(check bool) "caches raises" true (raises (fun () -> ignore (Battery.caches b)));
+  Alcotest.(check bool) "find raises" true
+    (raises (fun () -> ignore (Battery.find b "1KB/64B/1-way")));
+  Alcotest.(check bool) "track_usage raises" true
+    (raises (fun () ->
+         ignore
+           (Battery.create ~engine:`Stackdist ~track_usage:true
+              [ cfg ~size_kb:1 ~line:64 ~assoc:1 () ])));
+  (* flush_residents is a harmless no-op under stackdist. *)
+  Battery.flush_residents b
+
+let suite =
+  ( "stackdist",
+    [
+      Alcotest.test_case "direct-mapped conflict" `Quick test_direct_mapped_conflict;
+      Alcotest.test_case "2-way no conflict" `Quick test_two_way_no_conflict;
+      Alcotest.test_case "one pass, many geometries" `Quick test_one_pass_many_geometries;
+      Alcotest.test_case "run spanning lines" `Quick test_run_spanning_lines;
+      Alcotest.test_case "groups by line size" `Quick test_groups_by_line_size;
+      Alcotest.test_case "unknown name raises" `Quick test_unknown_name_raises;
+      Alcotest.test_case "bad configs" `Quick test_bad_configs;
+      Alcotest.test_case "fully-assoc = shadow LRU" `Quick test_fully_assoc_matches_shadow;
+      Alcotest.test_case "battery engines agree" `Quick test_battery_engines_agree;
+      Alcotest.test_case "battery stackdist restrictions" `Quick
+        test_battery_stackdist_restrictions;
+      QCheck_alcotest.to_alcotest qcheck_matches_icache;
+    ] )
