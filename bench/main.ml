@@ -17,7 +17,9 @@
      dune exec bench/main.exe -- --chrome-trace FILE   # Perfetto-loadable trace
      dune exec bench/main.exe -- -j 4                  # parallel figure schedule
      dune exec bench/main.exe -- --retain-mb 256       # bound trace-cache residency
-     dune exec bench/main.exe -- --engine icache       # per-config caches for the sweeps *)
+     dune exec bench/main.exe -- --engine icache       # per-config caches for the sweeps
+     dune exec bench/main.exe -- --timeline-out FILE   # windowed metric series artifact
+     dune exec bench/main.exe -- --timeline-window N   # override the window width (instrs) *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -29,6 +31,7 @@ module Pettis_hansen = Olayout_core.Pettis_hansen
 module Telemetry = Olayout_telemetry.Telemetry
 module Json = Olayout_telemetry.Json
 module Bench_artifact = Olayout_telemetry.Bench_artifact
+module Timeline = Olayout_telemetry.Timeline
 module Artifact = Olayout_regress.Artifact
 module Diff = Olayout_regress.Diff
 module Fidelity = Olayout_regress.Fidelity
@@ -53,6 +56,8 @@ type options = {
   retain_mb : int option;
   bench_json_out : string option;
   engine : Olayout_cachesim.Battery.engine;
+  timeline_out : string option;
+  timeline_window : int option;
 }
 
 let flag_summary =
@@ -60,7 +65,7 @@ let flag_summary =
    --telemetry-summary, --only IDS, --telemetry-out FILE, --baseline FILE, \
    --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE, \
    -j/--jobs N|auto, --retain-mb MB, --bench-json-out FILE, \
-   --engine icache|stackdist"
+   --engine icache|stackdist, --timeline-out FILE, --timeline-window N"
 
 let usage_error fmt =
   Printf.ksprintf
@@ -80,6 +85,7 @@ let parse_args () =
   let chrome_trace = ref None in
   let jobs = ref None and retain_mb = ref None and bench_json_out = ref None in
   let engine = ref `Stackdist in
+  let timeline_out = ref None and timeline_window = ref None in
   let missing opt expected =
     usage_error "option %s requires an argument: %s" opt expected
   in
@@ -125,6 +131,19 @@ let parse_args () =
     | [ "--bench-json-out" ] ->
         missing "--bench-json-out" "a JSON output path (implies --bench-json)"
     | [ "--engine" ] -> missing "--engine" "\"icache\" or \"stackdist\""
+    | [ "--timeline-out" ] -> missing "--timeline-out" "a JSON output path"
+    | [ "--timeline-window" ] ->
+        missing "--timeline-window" "a positive window width in instructions"
+    | "--timeline-out" :: path :: rest ->
+        timeline_out := Some path;
+        go rest
+    | "--timeline-window" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some w when w >= 1 -> timeline_window := Some w
+        | Some _ | None ->
+            usage_error
+              "--timeline-window expects a positive instruction count, got %S" n);
+        go rest
     | "--engine" :: name :: rest ->
         (match name with
         | "icache" -> engine := `Icache
@@ -184,6 +203,8 @@ let parse_args () =
     usage_error "--gate needs --baseline FILE: there is nothing to gate against";
   if !tolerance <> None && !baseline = None then
     usage_error "--tolerance only applies to a --baseline FILE comparison";
+  if !timeline_window <> None && !timeline_out = None then
+    usage_error "--timeline-window only applies with --timeline-out FILE";
   {
     quick = !quick;
     only = !only;
@@ -202,6 +223,8 @@ let parse_args () =
     retain_mb = !retain_mb;
     bench_json_out = !bench_json_out;
     engine = !engine;
+    timeline_out = !timeline_out;
+    timeline_window = !timeline_window;
   }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
@@ -322,6 +345,16 @@ let () =
   end;
   let scale = if opts.quick then Context.Quick else Context.Full in
   let scale_name = if opts.quick then "quick" else "full" in
+  (* Timeline instrumentation is decided before any producer is built: the
+     simulators capture their series handles at construction, so flipping
+     the flag later would be a no-op. *)
+  if opts.timeline_out <> None then begin
+    Timeline.set_enabled true;
+    Timeline.set_window
+      (match opts.timeline_window with
+      | Some w -> w
+      | None -> if opts.quick then 65_536 else 524_288)
+  end;
   Format.printf
     "olayout bench: reproducing Ramirez et al., ISCA 2001 (%s scale, %s sweep engine)@."
     scale_name
@@ -398,6 +431,16 @@ let () =
     artifact_path := Some path;
     Format.printf "bench artifact written to %s@." path
   end;
+  (* The TIMELINE artifact snapshots before --diagnose runs: the diagnose
+     pass replays more of the stream, and only one CI leg diagnoses — the
+     cross-leg byte-identity check needs every leg to freeze the series at
+     the same point. *)
+  Option.iter
+    (fun path ->
+      Format.printf "%a" Timeline.pp_summary ();
+      Timeline.write_artifact ~path ~scale:scale_name;
+      Format.printf "timeline artifact written to %s@." path)
+    opts.timeline_out;
   if opts.diagnose then begin
     (* The DIAG artifact: diagnose the baseline layout at the headline
        geometry.  The icache-miss counter delta around the measurement is

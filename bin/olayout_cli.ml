@@ -5,6 +5,7 @@
      optimize     - run the profiling phase and compare layout combinations
      simulate     - run the OLTP workload through a custom instruction cache
      report       - regenerate the paper's figures (same engine as bench/)
+     timeline     - windowed metric series over the simulated instruction stream
      compare      - diff two bench/diag artifacts, gate on deterministic drift
      chrome-trace - telemetry JSONL -> Perfetto-loadable trace-event JSON *)
 
@@ -391,6 +392,91 @@ let diagnose_cmd =
       const diagnose $ seed_arg $ quick_arg $ figure_arg $ base_combo_arg $ top_arg
       $ out_arg $ telemetry_arg)
 
+(* --- timeline --- *)
+
+let timeline seed quick figure combo window engine out =
+  let module Timeline = Olayout_telemetry.Timeline in
+  match Olayout_harness.Diagnose.preset_of_figure figure with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "olayout: %s\n" msg;
+      1
+  | preset ->
+      (* Enabled before the context exists: the simulators capture their
+         series handles at construction. *)
+      Timeline.set_enabled true;
+      Timeline.set_window
+        (match window with
+        | Some w -> w
+        | None -> if quick then 65_536 else 524_288);
+      let scale = if quick then Context.Quick else Context.Full in
+      let ctx = Context.create ~scale ~seed ~engine () in
+      Olayout_harness.Phase_timeline.run ~combo ~engine ctx preset;
+      Format.printf "%a" Timeline.pp_summary ();
+      Option.iter
+        (fun path ->
+          Timeline.write_artifact ~path
+            ~scale:(if quick then "quick" else "full");
+          Format.printf "timeline artifact written to %s@." path)
+        out;
+      0
+
+let timeline_cmd =
+  let figure_arg =
+    Arg.(
+      value & opt string "fig4"
+      & info [ "figure" ] ~docv:"ID"
+          ~doc:
+            (Printf.sprintf
+               "Figure geometry to trace over the instruction clock (%s)."
+               (String.concat ", "
+                  (List.map
+                     (fun p -> p.Olayout_harness.Diagnose.fig)
+                     Olayout_harness.Diagnose.presets))))
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"INSTRS"
+          ~doc:
+            "Window width in simulated instructions (default 65536 with \
+             $(b,--quick), 524288 otherwise).")
+  in
+  let engine_arg =
+    let engine_conv =
+      Arg.enum [ ("icache", `Icache); ("stackdist", `Stackdist) ]
+    in
+    Arg.(
+      value
+      & opt engine_conv `Stackdist
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Sweep backend feeding the cachesim series; both engines produce \
+             byte-identical series.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the olayout-timeline/v1 artifact to $(docv).")
+  in
+  let base_combo_arg =
+    Arg.(
+      value & opt combo_conv Spike.Base
+      & info [ "combo" ] ~docv:"COMBO"
+          ~doc:"Layout combination to trace (default the unoptimized base).")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Windowed metric series over the simulated instruction stream: \
+          per-window cache misses, working set and transaction mix for one \
+          figure geometry, printed as sparklines.")
+    Term.(
+      const timeline $ seed_arg $ quick_arg $ figure_arg $ base_combo_arg
+      $ window_arg $ engine_arg $ out_arg)
+
 (* --- report --- *)
 
 let report seed quick only trace_stats telemetry telemetry_out jobs retain_mb engine =
@@ -681,5 +767,5 @@ let () =
        (Cmd.group (Cmd.info "olayout" ~doc)
           [
             inspect_cmd; profile_cmd; disasm_cmd; optimize_cmd; simulate_cmd; trace_cmd;
-            diagnose_cmd; report_cmd; compare_cmd; chrome_trace_cmd;
+            diagnose_cmd; timeline_cmd; report_cmd; compare_cmd; chrome_trace_cmd;
           ]))

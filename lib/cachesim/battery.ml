@@ -1,5 +1,7 @@
 module Pool = Olayout_par.Pool
 module Trace = Olayout_exec.Trace
+module Run = Olayout_exec.Run
+module Timeline = Olayout_telemetry.Timeline
 
 type engine = [ `Icache | `Stackdist ]
 
@@ -9,30 +11,105 @@ type engine = [ `Icache | `Stackdist ]
    cross-engine CI leg enforces the equality). *)
 type backend = Caches of Icache.t array | Stack of Stackdist.t
 
-type t = { engine : engine; backend : backend }
+(* Timeline designation: one configuration whose cumulative miss count is
+   polled around every fed run, the delta attributed to the window holding
+   the run's start position.  Per-run deltas are equal under both engines
+   (exact per-set LRU each), so the resulting series is engine-agnostic. *)
+type tl_probe = P_cache of Icache.t | P_stack of Stackdist.probe
+
+type tl = {
+  tl_misses : Timeline.series;
+  tl_accesses : Timeline.series;
+  tl_probe : tl_probe;
+  tl_unit : int; (* cache index / stackdist group owning the probe *)
+  tl_shift : int; (* log2 line_bytes of the designated configuration *)
+  mutable tl_pos : int; (* cumulative fed instructions ({!access_run} path) *)
+}
+
+type t = { engine : engine; backend : backend; tl : tl option }
 
 let engine_name = function `Icache -> "icache" | `Stackdist -> "stackdist"
 
-let create ?(engine = `Icache) ?track_usage configs =
-  match engine with
-  | `Icache ->
+let log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let designate backend (name, prefix) =
+  let tl_misses = Timeline.series (Printf.sprintf "cachesim.%s.misses" prefix) in
+  let tl_accesses = Timeline.series (Printf.sprintf "cachesim.%s.accesses" prefix) in
+  match backend with
+  | Caches caches -> (
+      match
+        Array.to_seq caches
+        |> Seq.mapi (fun i c -> (i, c))
+        |> Seq.find (fun (_, c) -> String.equal (Icache.cfg c).Icache.name name)
+      with
+      | Some (i, c) ->
+          {
+            tl_misses;
+            tl_accesses;
+            tl_probe = P_cache c;
+            tl_unit = i;
+            tl_shift = log2 (Icache.cfg c).Icache.line_bytes;
+            tl_pos = 0;
+          }
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Battery.create: no cache configuration %S to designate" name))
+  | Stack sd ->
+      let p = Stackdist.probe sd name in
       {
-        engine;
-        backend = Caches (Array.of_list (List.map (Icache.create ?track_usage) configs));
+        tl_misses;
+        tl_accesses;
+        tl_probe = P_stack p;
+        tl_unit = Stackdist.probe_group sd name;
+        tl_shift = Stackdist.probe_line_shift p;
+        tl_pos = 0;
       }
-  | `Stackdist ->
-      if track_usage = Some true then
-        invalid_arg
-          "Battery.create: usage tracking needs per-line state the stackdist \
-           engine does not keep; use ~engine:`Icache";
-      { engine; backend = Stack (Stackdist.create configs) }
+
+let create ?(engine = `Icache) ?track_usage ?timeline configs =
+  let backend =
+    match engine with
+    | `Icache -> Caches (Array.of_list (List.map (Icache.create ?track_usage) configs))
+    | `Stackdist ->
+        if track_usage = Some true then
+          invalid_arg
+            "Battery.create: usage tracking needs per-line state the stackdist \
+             engine does not keep; use ~engine:`Icache";
+        Stack (Stackdist.create configs)
+  in
+  let tl =
+    match timeline with
+    | Some d when Timeline.enabled () -> Some (designate backend d)
+    | _ -> None
+  in
+  { engine; backend; tl }
 
 let engine t = t.engine
 
-let access_run t run =
+let tl_misses_now tl =
+  match tl.tl_probe with
+  | P_cache c -> Icache.misses c
+  | P_stack p -> Stackdist.probe_misses p
+
+let tl_lines tl (run : Run.t) =
+  ((run.addr + (run.len * 4) - 1) lsr tl.tl_shift) - (run.addr lsr tl.tl_shift) + 1
+
+let feed_all t run =
   match t.backend with
   | Caches caches -> Array.iter (fun c -> Icache.access_run c run) caches
   | Stack sd -> Stackdist.access_run sd run
+
+let access_run t run =
+  match t.tl with
+  | None -> feed_all t run
+  | Some tl ->
+      let before = tl_misses_now tl in
+      feed_all t run;
+      let pos = tl.tl_pos in
+      Timeline.add tl.tl_misses ~pos (tl_misses_now tl - before);
+      Timeline.add tl.tl_accesses ~pos (tl_lines tl run);
+      tl.tl_pos <- pos + run.Run.len
 
 (* Sharded replay: each shard replays the (immutable, post-record) trace
    once and feeds a contiguous slice of the simulation — per-config caches
@@ -53,22 +130,44 @@ let shard_replay ?pool n feed =
         ignore (Pool.map p feed ranges)
     | _ -> feed (0, n - 1)
 
+(* Only the shard owning the designated unit carries the timeline probe:
+   its position counter restarts at the battery's cumulative position and
+   advances per kept run, identically at any shard count (each shard
+   replays the full trace), so the series is byte-identical to serial. *)
+let tl_for t lo hi =
+  match t.tl with
+  | Some tl when tl.tl_unit >= lo && tl.tl_unit <= hi -> Some tl
+  | _ -> None
+
+let replay_shard trace keep tl feed =
+  match tl with
+  | None -> Trace.replay trace (fun run -> if keep run then feed run)
+  | Some tl ->
+      let pos = ref tl.tl_pos in
+      Trace.replay trace (fun run ->
+          if keep run then begin
+            let before = tl_misses_now tl in
+            feed run;
+            Timeline.add tl.tl_misses ~pos:!pos (tl_misses_now tl - before);
+            Timeline.add tl.tl_accesses ~pos:!pos (tl_lines tl run);
+            pos := !pos + run.Run.len
+          end);
+      tl.tl_pos <- !pos
+
 let access_trace ?pool ?(keep = fun (_ : Olayout_exec.Run.t) -> true) t trace =
   match t.backend with
   | Caches caches ->
       shard_replay ?pool (Array.length caches) (fun (lo, hi) ->
-          Trace.replay trace (fun run ->
-              if keep run then
-                for i = lo to hi do
-                  Icache.access_run caches.(i) run
-                done))
+          replay_shard trace keep (tl_for t lo hi) (fun run ->
+              for i = lo to hi do
+                Icache.access_run caches.(i) run
+              done))
   | Stack sd ->
       shard_replay ?pool (Stackdist.n_groups sd) (fun (lo, hi) ->
-          Trace.replay trace (fun run ->
-              if keep run then
-                for g = lo to hi do
-                  Stackdist.access_run_group sd g run
-                done))
+          replay_shard trace keep (tl_for t lo hi) (fun run ->
+              for g = lo to hi do
+                Stackdist.access_run_group sd g run
+              done))
 
 let flush_residents t =
   match t.backend with

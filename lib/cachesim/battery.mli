@@ -24,10 +24,27 @@ type engine = [ `Icache | `Stackdist ]
 val engine_name : engine -> string
 (** ["icache"] / ["stackdist"] — the spelling of the [--engine] flags. *)
 
-val create : ?engine:engine -> ?track_usage:bool -> Icache.config list -> t
+val create :
+  ?engine:engine ->
+  ?track_usage:bool ->
+  ?timeline:string * string ->
+  Icache.config list ->
+  t
 (** Default engine [`Icache] (the fully-instrumented backend).
+
+    [~timeline:(config_name, prefix)] designates one configuration for
+    instruction-clock series: while [Olayout_telemetry.Timeline] is
+    enabled, every fed run's miss delta and line-touch count for that
+    configuration are attributed to the window holding the run's start
+    position, under [cachesim.<prefix>.misses] /
+    [cachesim.<prefix>.accesses].  Both engines produce byte-identical
+    series (per-run miss deltas agree under exact per-set LRU).  Ignored
+    while the timeline subsystem is disabled, keeping the hot path free
+    of probe reads.
+
     @raise Invalid_argument for [~track_usage:true] with [`Stackdist]
-    (usage histograms need per-line cache state). *)
+    (usage histograms need per-line cache state), or when the designated
+    configuration name is unknown. *)
 
 val engine : t -> engine
 val access_run : t -> Olayout_exec.Run.t -> unit

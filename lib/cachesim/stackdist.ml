@@ -341,3 +341,21 @@ let find t name =
 let misses t name = (find t name).misses
 let cold_misses t name = (find t name).cold
 let misses_by_config t = Array.to_list (Array.map (fun s -> (s.cfg, s.misses)) t.ordered)
+
+(* --- probes ------------------------------------------------------------ *)
+
+(* A resolved handle onto one configuration's slot, for per-run polling
+   (the timeline instrumentation reads the cumulative miss count before
+   and after every fed run) without a name lookup on the hot path. *)
+type probe = slot
+
+let probe t name = find t name
+let probe_misses (p : probe) = p.misses
+let probe_line_shift (p : probe) = log2 p.cfg.Icache.line_bytes
+
+let probe_group t name =
+  let shift = log2 (find t name).cfg.Icache.line_bytes in
+  let idx = ref (-1) in
+  Array.iteri (fun i g -> if g.line_shift = shift then idx := i) t.groups;
+  assert (!idx >= 0);
+  !idx

@@ -90,3 +90,24 @@ val cold_misses : t -> string -> int
 val misses_by_config : t -> (Icache.config * int) list
 (** All (configuration, miss count) pairs in creation order — the
     drop-in replacement for walking a battery's cache list. *)
+
+(** {1 Probes}
+
+    A probe is a resolved handle onto one configuration's result slot, so
+    per-run polling (the timeline layer reads the cumulative miss count
+    around every fed run) skips the name lookup. *)
+
+type probe
+
+val probe : t -> string -> probe
+(** @raise Invalid_argument when the name is unknown. *)
+
+val probe_misses : probe -> int
+(** Cumulative miss count so far for the probed configuration. *)
+
+val probe_line_shift : probe -> int
+(** [log2 line_bytes] of the probed configuration. *)
+
+val probe_group : t -> string -> int
+(** The group index ({!access_run_group}) that simulates the named
+    configuration — i.e. the shard whose feed updates its probe. *)

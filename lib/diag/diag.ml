@@ -2,6 +2,7 @@ module Icache = Olayout_cachesim.Icache
 module Run = Olayout_exec.Run
 module Histogram = Olayout_metrics.Histogram
 module Telemetry = Olayout_telemetry.Telemetry
+module Timeline = Olayout_telemetry.Timeline
 module Json = Olayout_telemetry.Json
 
 (* Aggregated over every diagnosed cache in the process, mirroring the
@@ -63,7 +64,16 @@ type state = {
   matrix : (int * int * int, int ref) Hashtbl.t;
 }
 
-type t = { ic : Icache.t; st : state }
+(* Instruction-clock view of the footprint: the Shadow LRU's resident line
+   count (the capacity-bounded working set) and the all-time unique-line
+   count, sampled once per fed run. *)
+type tl = {
+  tl_ws : Timeline.series;
+  tl_uniq : Timeline.series;
+  mutable tl_pos : int;
+}
+
+type t = { ic : Icache.t; st : state; tl : tl option }
 
 let log2 n =
   let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
@@ -83,7 +93,7 @@ let resolve_line st addr =
 
 let seg_idx st seg = if seg < 0 then Array.length st.seg_misses - 1 else seg
 
-let create ~resolver (cfg : Icache.config) =
+let create ?timeline ~resolver (cfg : Icache.config) =
   let n_sets = cfg.Icache.size_bytes / (cfg.Icache.line_bytes * cfg.Icache.assoc) in
   let n_segs = Resolver.n_segments resolver in
   let st =
@@ -144,7 +154,22 @@ let create ~resolver (cfg : Icache.config) =
     | Some r -> incr r
     | None -> Hashtbl.add st.matrix key (ref 1)
   in
-  { ic = Icache.create ~on_miss ~on_evict cfg; st }
+  let tl =
+    match timeline with
+    | Some prefix when Timeline.enabled () ->
+        Some
+          {
+            tl_ws =
+              Timeline.series ~kind:Timeline.Sample
+                (Printf.sprintf "diag.%s.working_set_lines" prefix);
+            tl_uniq =
+              Timeline.series ~kind:Timeline.Sample
+                (Printf.sprintf "diag.%s.unique_lines" prefix);
+            tl_pos = 0;
+          }
+    | _ -> None
+  in
+  { ic = Icache.create ~on_miss ~on_evict cfg; st; tl }
 
 let icache t = t.ic
 
@@ -162,7 +187,14 @@ let access_run t (r : Run.t) =
     Icache.access_run t.ic
       { Run.owner = r.Run.owner; addr = lo; len = ((hi - lo) / 4) + 1 };
     Shadow.touch st.shadow line
-  done
+  done;
+  match t.tl with
+  | None -> ()
+  | Some tl ->
+      let pos = tl.tl_pos in
+      Timeline.sample tl.tl_ws ~pos (Shadow.size st.shadow);
+      Timeline.sample tl.tl_uniq ~pos (Hashtbl.length st.seen);
+      tl.tl_pos <- pos + r.Run.len
 
 let totals t =
   {

@@ -25,10 +25,16 @@ module Histogram = Olayout_metrics.Histogram
 
 type t
 
-val create : resolver:Resolver.t -> Icache.config -> t
+val create : ?timeline:string -> resolver:Resolver.t -> Icache.config -> t
 (** A diagnosed cache of the given geometry.  The wrapped icache is
     created without prefetch (classification is defined over demand
-    references). *)
+    references).
+
+    [~timeline:prefix] (effective only while [Olayout_telemetry.Timeline]
+    is enabled) samples the Shadow LRU's resident line count and the
+    all-time unique-line count once per fed run into the instruction-clock
+    series [diag.<prefix>.working_set_lines] /
+    [diag.<prefix>.unique_lines]. *)
 
 val access_run : t -> Olayout_exec.Run.t -> unit
 (** Feed one fetch run: the wrapped icache sees exactly the line-touch

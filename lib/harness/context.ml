@@ -269,7 +269,8 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
         Telemetry.span "context.live_execution" (fun () ->
             Server.run ~app:(Workload.app t.workload)
               ~kernel:(Workload.kernel t.workload) ~txns ~seed:1009
-              ~renders:render_specs ?on_data ?app_sinks ?on_switch ())
+              ~renders:render_specs ?on_data ?app_sinks ?on_switch
+              ~timeline:true ())
       in
       Telemetry.incr c_live_executions;
       List.iter

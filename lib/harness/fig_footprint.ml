@@ -1,6 +1,7 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
 module Footprint = Olayout_metrics.Footprint
+module Spike = Olayout_core.Spike
 
 type result = {
   curve : (int * float) list;
@@ -12,6 +13,11 @@ type result = {
 }
 
 let run ctx =
+  (* Record the measurement streams this figure declares (report.ml): the
+     figure itself only reads the training profile, but fronting the
+     recording here attributes the live walk to fig3's figure_stat and
+     lets every later sweep figure replay from the cache. *)
+  ignore (Context.traces_for ctx [ Spike.Base; Spike.All ]);
   let profile = Context.app_profile ctx in
   let prog = Profile.prog profile in
   let units = ref [] in

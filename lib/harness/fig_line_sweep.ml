@@ -62,10 +62,15 @@ let publish_gauges r =
           (float_of_int (misses r.optimized ~size_kb ~line:128) /. float_of_int b))
     [ 64; 128 ]
 
+(* The paper's headline geometry (64KB, 128B lines, direct-mapped) carries
+   the figure's timeline series: per-window miss/access deltas land under
+   cachesim.base.* / cachesim.opt.* when the timeline layer is enabled. *)
+let headline = "64KB/128B/1-way"
+
 let run ?pool ctx =
   let engine = Context.engine ctx in
-  let b_base = Battery.create ~engine configs
-  and b_opt = Battery.create ~engine configs in
+  let b_base = Battery.create ~engine ~timeline:(headline, "base") configs
+  and b_opt = Battery.create ~engine ~timeline:(headline, "opt") configs in
   (match Context.traces_for ctx [ Spike.Base; Spike.All ] with
   | [ Some _; Some _ ] ->
       ignore (Context.replay_battery ctx ?pool ~keep:app_run ~combo:Spike.Base b_base);

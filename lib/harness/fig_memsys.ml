@@ -14,8 +14,8 @@ type side = {
 type result = { base : side; optimized : side }
 
 let run ctx =
-  let hb = Hierarchy.create Hierarchy.simos_base in
-  let ho = Hierarchy.create Hierarchy.simos_base in
+  let hb = Hierarchy.create ~timeline:"base" Hierarchy.simos_base in
+  let ho = Hierarchy.create ~timeline:"opt" Hierarchy.simos_base in
   let _ =
     Context.measure ctx
       ~renders:

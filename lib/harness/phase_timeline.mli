@@ -1,0 +1,25 @@
+(** Phase-resolved timeline measurement for one figure geometry.
+
+    Drives a single measurement stream through the preset's cache while
+    {!Olayout_telemetry.Timeline} (which the caller must have enabled, with
+    the window width already chosen) records windowed series on the
+    simulated instruction clock: the preset cache's per-window demand
+    misses and line touches ([cachesim.<combo>.*], via a battery
+    designation so either sweep engine produces byte-identical values),
+    the shadow-LRU working set ([diag.<fig>.*]) and the live walk's
+    transaction mix ([oltp.*]).
+
+    The caller reads the results out of the timeline registry afterwards
+    ({!Olayout_telemetry.Timeline.pp_summary} /
+    {!Olayout_telemetry.Timeline.write_artifact}). *)
+
+val run :
+  ?combo:Olayout_core.Spike.combo ->
+  ?engine:Olayout_cachesim.Battery.engine ->
+  Context.t ->
+  Diagnose.preset ->
+  unit
+(** Defaults: [combo = Base] (phase structure of the unoptimized layout),
+    [engine = `Stackdist].
+
+    @raise Invalid_argument when the timeline subsystem is disabled. *)

@@ -39,7 +39,12 @@ let experiments : experiment list =
       e_id = "fig3";
       e_desc = "execution profile";
       e_live = false;
-      e_streams = [];
+      (* Fig 3 computes from the training profile, but it also records the
+         (Base, All) streams up front: the recording walk is attributed to
+         its figure_stat (it used to land on fig4, leaving fig3 reporting
+         runs_live = 0) and every later sweep figure replays + schedules
+         onto the pool from the start. *)
+      e_streams = base_all;
       e_run = (fun _ ctx -> Fig_footprint.tables (Fig_footprint.run ctx));
     };
     {

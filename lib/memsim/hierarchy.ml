@@ -1,5 +1,6 @@
 module Icache = Olayout_cachesim.Icache
 module Run = Olayout_exec.Run
+module Timeline = Olayout_telemetry.Timeline
 
 type config = {
   l1i : Icache.config;
@@ -24,9 +25,18 @@ let simos_base =
     itlb_entries = 64;
   }
 
-type t = { l1i : Icache.t; l1d : Cache.t; l2 : Cache.t; itlb : Itlb.t }
+(* Instruction-clock series over the fetch path, polled around each fetched
+   run (no hot-path edits inside Itlb/Icache/Cache themselves). *)
+type tl = {
+  tl_itlb : Timeline.series;
+  tl_l1i : Timeline.series;
+  tl_l2i : Timeline.series;
+  mutable tl_pos : int;
+}
 
-let create cfg =
+type t = { l1i : Icache.t; l1d : Cache.t; l2 : Cache.t; itlb : Itlb.t; tl : tl option }
+
+let create ?timeline cfg =
   let l2 =
     Cache.create ~name:"l2" ~size_bytes:cfg.l2_size_bytes ~line_bytes:cfg.l2_line
       ~assoc:cfg.l2_assoc ()
@@ -44,11 +54,36 @@ let create cfg =
       ~assoc:cfg.l1d_assoc ()
   in
   let itlb = Itlb.create ~entries:cfg.itlb_entries () in
-  { l1i; l1d; l2; itlb }
+  let tl =
+    match timeline with
+    | Some prefix when Timeline.enabled () ->
+        Some
+          {
+            tl_itlb = Timeline.series (Printf.sprintf "memsim.%s.itlb_misses" prefix);
+            tl_l1i = Timeline.series (Printf.sprintf "memsim.%s.l1i_misses" prefix);
+            tl_l2i = Timeline.series (Printf.sprintf "memsim.%s.l2i_misses" prefix);
+            tl_pos = 0;
+          }
+    | _ -> None
+  in
+  { l1i; l1d; l2; itlb; tl }
 
 let fetch_run t run =
-  Itlb.access_run t.itlb run;
-  Icache.access_run t.l1i run
+  match t.tl with
+  | None ->
+      Itlb.access_run t.itlb run;
+      Icache.access_run t.l1i run
+  | Some tl ->
+      let itlb0 = Itlb.misses t.itlb
+      and l1i0 = Icache.misses t.l1i
+      and l2i0 = Cache.misses_kind t.l2 Cache.Instr in
+      Itlb.access_run t.itlb run;
+      Icache.access_run t.l1i run;
+      let pos = tl.tl_pos in
+      Timeline.add tl.tl_itlb ~pos (Itlb.misses t.itlb - itlb0);
+      Timeline.add tl.tl_l1i ~pos (Icache.misses t.l1i - l1i0);
+      Timeline.add tl.tl_l2i ~pos (Cache.misses_kind t.l2 Cache.Instr - l2i0);
+      tl.tl_pos <- pos + run.Run.len
 
 let data_access t addr = Cache.access t.l1d ~kind:Cache.Data addr
 

@@ -26,7 +26,11 @@ val simos_base : config
 
 type t
 
-val create : config -> t
+val create : ?timeline:string -> config -> t
+(** [~timeline:prefix] (effective only while [Olayout_telemetry.Timeline]
+    is enabled) emits per-window fetch-path miss series keyed on the
+    cumulative fetched-instruction count: [memsim.<prefix>.itlb_misses],
+    [memsim.<prefix>.l1i_misses] and [memsim.<prefix>.l2i_misses]. *)
 
 val fetch_run : t -> Olayout_exec.Run.t -> unit
 (** Instruction fetch: touches the iTLB and L1I; L1I misses access the L2

@@ -7,6 +7,7 @@ module Rng = Olayout_util.Rng
 module Hooks = Olayout_db.Hooks
 module Tpcb = Olayout_db.Tpcb
 module Lock = Olayout_db.Lock
+module Timeline = Olayout_telemetry.Timeline
 
 type render_spec = {
   app_placement : Placement.t;
@@ -29,9 +30,28 @@ let data_base = 0x4000_0000
 
 type _ Effect.t += Yield : unit Effect.t
 
+(* Instruction-clock series over the measured window: app-vs-kernel phase
+   (per-window instruction deltas) and the transaction mix (commits,
+   aborts, lock waits, context switches).  Positions are measured
+   instructions — the base latches when the warmup ends — so the series
+   line up with the cachesim/memsim series fed by the same render
+   stream. *)
+type tl = {
+  t_app : Timeline.series;
+  t_kernel : Timeline.series;
+  t_commits : Timeline.series;
+  t_aborts : Timeline.series;
+  t_waits : Timeline.series;
+  t_switches : Timeline.series;
+  mutable t_base : int; (* total instrs when measuring flipped on; -1 = unset *)
+  mutable t_pos : int; (* position of the previous instruction flush *)
+  mutable t_app_seen : int;
+  mutable t_kernel_seen : int;
+}
+
 let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
     ?(tick_instrs = 200_000) ?db_config ?(renders = []) ?(app_sinks = [])
-    ?(kernel_sinks = []) ?on_data ?on_switch () =
+    ?(kernel_sinks = []) ?on_data ?on_switch ?(timeline = false) () =
   let rng = Rng.create seed in
   let app_walk = Walk.create ~prog:(Binary.prog app) ~rng:(Rng.split rng) in
   let kernel_walk = Walk.create ~prog:(Binary.prog kernel) ~rng:(Rng.split rng) in
@@ -63,6 +83,55 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
       eps
   in
   let total_instrs () = Walk.instrs_executed app_walk + Walk.instrs_executed kernel_walk in
+  let tl =
+    if timeline && Timeline.enabled () then
+      Some
+        {
+          t_app = Timeline.series "oltp.app_instrs";
+          t_kernel = Timeline.series "oltp.kernel_instrs";
+          t_commits = Timeline.series "oltp.commits";
+          t_aborts = Timeline.series "oltp.aborts";
+          t_waits = Timeline.series "oltp.lock_waits";
+          t_switches = Timeline.series "oltp.switches";
+          t_base = -1;
+          t_pos = 0;
+          t_app_seen = 0;
+          t_kernel_seen = 0;
+        }
+    else None
+  in
+  let tl_pos s =
+    let total = total_instrs () in
+    if s.t_base < 0 then begin
+      s.t_base <- total;
+      s.t_app_seen <- Walk.instrs_executed app_walk;
+      s.t_kernel_seen <- Walk.instrs_executed kernel_walk
+    end;
+    total - s.t_base
+  in
+  (* Instruction deltas since the previous flush land in the window where
+     that chunk began (the chunk is one db op's episodes — far smaller
+     than a window). *)
+  let tl_flush_instrs () =
+    match tl with
+    | Some s when !measuring ->
+        let pos = tl_pos s in
+        let a = Walk.instrs_executed app_walk
+        and k = Walk.instrs_executed kernel_walk in
+        Timeline.add s.t_app ~pos:s.t_pos (a - s.t_app_seen);
+        Timeline.add s.t_kernel ~pos:s.t_pos (k - s.t_kernel_seen);
+        s.t_app_seen <- a;
+        s.t_kernel_seen <- k;
+        s.t_pos <- pos
+    | _ -> ()
+  in
+  let tl_event f =
+    match tl with
+    | Some s when !measuring ->
+        let pos = tl_pos s in
+        Timeline.add (f s) ~pos 1
+    | _ -> ()
+  in
   let maybe_tick () =
     if total_instrs () > !next_tick then begin
       incr clock_ticks;
@@ -106,7 +175,8 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
         (fun (e : App_model.episode) -> Walk.call app_walk ~hints:e.hints e.proc)
         (App_model.dispatch app_dispatcher op);
       walk_kernel_episodes (Kernel_model.on_op kernel op);
-      ticked := maybe_tick ()
+      ticked := maybe_tick ();
+      tl_flush_instrs ()
     end;
     if yield_after || !ticked then Effect.perform Yield
   in
@@ -130,12 +200,23 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
         let measured_txn = mine > warmup in
         let input = Tpcb.gen_input db input_rng in
         let wait _key =
-          if !measuring then incr lock_waits;
+          if !measuring then begin
+            incr lock_waits;
+            tl_event (fun s -> s.t_waits)
+          end;
           Effect.perform Yield
         in
         (match Tpcb.run db ~wait input with
-        | `Committed -> if measured_txn then incr committed
-        | `Aborted -> if measured_txn then incr aborted);
+        | `Committed ->
+            if measured_txn then begin
+              incr committed;
+              tl_event (fun s -> s.t_commits)
+            end
+        | `Aborted ->
+            if measured_txn then begin
+              incr aborted;
+              tl_event (fun s -> s.t_aborts)
+            end);
         (* Server process blocks awaiting the next client request. *)
         Effect.perform Yield
       end
@@ -151,7 +232,10 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
   while not (Queue.is_empty runq) do
     let pid, job = Queue.pop runq in
     if !current >= 0 && !current <> pid then begin
-      if !measuring then incr switches;
+      if !measuring then begin
+        incr switches;
+        tl_event (fun s -> s.t_switches)
+      end;
       (* The switch itself runs kernel scheduler code. *)
       if !measuring then walk_kernel_episodes (Kernel_model.context_switch kernel)
     end;
@@ -171,6 +255,7 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
             | _ -> None);
       }
   done;
+  tl_flush_instrs ();
   measuring := false;
   scheduler_running := false;
   List.iter Render.flush mergers;

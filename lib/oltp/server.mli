@@ -50,6 +50,7 @@ val run :
   ?kernel_sinks:Walk.sink list ->
   ?on_data:(int -> unit) ->
   ?on_switch:(int -> unit) ->
+  ?timeline:bool ->
   unit ->
   result
 (** Execute [txns] measured transactions (after [warmup] unmeasured ones,
@@ -58,7 +59,15 @@ val run :
     [kernel_sinks] observe block events (profilers, samplers);
     [renders] observe address runs; [on_data] observes data references;
     [on_switch] observes every dispatch of a different server process (for
-    per-CPU routing in the multiprocessor experiment). *)
+    per-CPU routing in the multiprocessor experiment).
+
+    [~timeline:true] (default false, and effective only while
+    [Olayout_telemetry.Timeline] is enabled) emits instruction-clock
+    series over the measured window: per-window app/kernel instruction
+    deltas ([oltp.app_instrs] / [oltp.kernel_instrs] — the phase mix) and
+    transaction events ([oltp.commits], [oltp.aborts], [oltp.lock_waits],
+    [oltp.switches]).  Training walks leave it off so only measured
+    streams reach the series. *)
 
 val data_base : int
 (** Base virtual address of the database data region (page 0). *)

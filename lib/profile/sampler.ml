@@ -1,9 +1,16 @@
 open Olayout_ir
+module Timeline = Olayout_telemetry.Timeline
+
+(* Samples taken by every sampler in the process, on the instruction
+   clock — visible in TIMELINE artifacts next to the cachesim/oltp
+   series when the timeline subsystem is enabled. *)
+let s_samples = Timeline.series "profile.sampler_samples"
 
 type t = {
   prog : Prog.t;
   period : int;
   samples : int array array;
+  windowed : Timeline.Series.t;  (** per-window sample counts *)
   mutable position : int;  (** instructions executed so far *)
   mutable next_sample : int;
   mutable taken : int;
@@ -15,6 +22,7 @@ let create prog ~period =
     prog;
     period;
     samples = Array.map (fun (p : Proc.t) -> Array.make (Proc.n_blocks p) 0) prog.Prog.procs;
+    windowed = Timeline.Series.create ~window:(Timeline.window ()) ();
     position = 0;
     next_sample = period;
     taken = 0;
@@ -27,11 +35,15 @@ let sink t ~proc ~block ~arm:_ =
   while t.next_sample <= fin do
     t.samples.(proc).(block) <- t.samples.(proc).(block) + 1;
     t.taken <- t.taken + 1;
+    Timeline.Series.add t.windowed ~pos:t.next_sample 1;
+    Timeline.add s_samples ~pos:t.next_sample 1;
     t.next_sample <- t.next_sample + t.period
   done;
   t.position <- fin
 
 let samples_taken t = t.taken
+let window_counts t = Timeline.Series.values t.windowed
+let window_instrs t = Timeline.Series.window t.windowed
 
 let to_profile t =
   let profile = Profile.create t.prog in

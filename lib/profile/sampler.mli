@@ -19,6 +19,17 @@ val sink : t -> proc:int -> block:int -> arm:int -> unit
 
 val samples_taken : t -> int
 
+val window_counts : t -> int array
+(** Per-window sample counts over the sampler's own instruction clock (an
+    [Olayout_telemetry.Timeline.Series], always maintained — one array add
+    per sample taken — whatever the global timeline flag).  The input to
+    profile-staleness experiments: comparing window slices shows how the
+    sampled mix drifts along the run. *)
+
+val window_instrs : t -> int
+(** Width (instructions) of the windows behind {!window_counts} — the
+    global [Timeline.window] at creation time. *)
+
 val to_profile : t -> Profile.t
 (** Estimated full profile: block counts scaled by [period / block size],
     arm counts estimated from block counts. *)

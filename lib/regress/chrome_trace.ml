@@ -7,7 +7,13 @@
    per-figure timelines sit side by side; watched counters become
    counter tracks ("ph":"C"), e.g. cumulative i-cache misses and the
    trace-cache footprint over the run.  Timestamps are the telemetry
-   stream's process-relative seconds converted to microseconds. *)
+   stream's process-relative seconds converted to microseconds.
+
+   {"ev":"timeline",...} lines (windowed series on the simulated
+   instruction clock) render as counter tracks in a second process
+   (pid 2): their clock is instructions, not seconds, so they must not
+   share an axis with the wall-clock spans.  One simulated instruction
+   maps to one microsecond. *)
 
 module Json = Olayout_telemetry.Json
 
@@ -45,6 +51,7 @@ let of_events events =
         t
   in
   let spans = ref [] and samples = ref [] in
+  let timelines = ref [] in
   List.iter
     (fun ev ->
       match Json.member "ev" ev with
@@ -65,6 +72,23 @@ let of_events events =
           with
           | Some (Json.String name), Some t, Some v -> samples := (name, t, v) :: !samples
           | _ -> fail "sample event missing name/t_s/value")
+      | Some (Json.String "timeline") -> (
+          match
+            ( Json.member "name" ev,
+              Option.bind (Json.member "window_instrs" ev) Json.get_int,
+              Option.bind (Json.member "values" ev) Json.get_list )
+          with
+          | Some (Json.String name), Some w, Some vs ->
+              let values =
+                List.map
+                  (fun v ->
+                    match Json.get_int v with
+                    | Some n -> n
+                    | None -> fail "timeline event has a non-integer value")
+                  vs
+              in
+              timelines := (name, w, values) :: !timelines
+          | _ -> fail "timeline event missing name/window_instrs/values")
       (* meta header and final registry dump events carry no timeline *)
       | _ -> ())
     events;
@@ -104,6 +128,26 @@ let of_events events =
       (fun (a, _) (b, _) -> compare a b)
       (span_events @ counter_events)
   in
+  (* Windowed series on the instruction clock: one counter event per
+     window, ts = window start (1 instr = 1 us), on their own pid so
+     Perfetto never mixes the two clocks on one axis. *)
+  let instr_counter_events =
+    List.concat_map
+      (fun (name, window_instrs, values) ->
+        List.mapi
+          (fun i v ->
+            Json.Object
+              [
+                ("name", Json.String name);
+                ("cat", Json.String "timeline");
+                ("ph", Json.String "C");
+                ("pid", Json.Int 2);
+                ("ts", Json.Float (float_of_int (i * window_instrs)));
+                ("args", Json.Object [ ("value", Json.Int v) ]);
+              ])
+          values)
+      (List.rev !timelines)
+  in
   let thread_metas =
     List.concat_map
       (fun phase ->
@@ -137,10 +181,27 @@ let of_events events =
         ("args", Json.Object [ ("name", Json.String "olayout") ]);
       ]
   in
+  let instr_process_meta =
+    if instr_counter_events = [] then []
+    else
+      [
+        Json.Object
+          [
+            ("name", Json.String "process_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 2);
+            ( "args",
+              Json.Object
+                [ ("name", Json.String "simulated instruction clock") ] );
+          ];
+      ]
+  in
   Json.Object
     [
       ( "traceEvents",
-        Json.Array ((process_meta :: thread_metas) @ List.map snd timeline) );
+        Json.Array
+          ((process_meta :: thread_metas)
+          @ instr_process_meta @ List.map snd timeline @ instr_counter_events) );
       ("displayTimeUnit", Json.String "ms");
       ("otherData", Json.Object [ ("schema", Json.String schema) ]);
     ]

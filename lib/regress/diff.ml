@@ -73,6 +73,12 @@ let classify path =
   | "total_seconds" -> Timing
   | "gc" -> Timing  (* allocation totals vary with runtime version/params *)
   | "counters" -> Deterministic
+  (* Windowed instruction-clock series: pure simulation state, identical
+     at any -j and under either sweep engine.  Covers both the bench
+     artifact's timeline.* summary section and every path of a flattened
+     olayout-timeline/v1 document (whose own heads are window_instrs /
+     series, caught by the deterministic fallback). *)
+  | "timeline" -> Deterministic
   | "figures" ->
       if ends_with ~suffix:"seconds" path || ends_with ~suffix:"mruns_per_s" path
       then Timing

@@ -102,12 +102,40 @@ let passes_json () =
          | None -> None)
        pass_names)
 
+(* Per-series timeline summaries (window width, window count, total) go
+   through the baseline gate like any other deterministic metric; the full
+   window arrays live in the dedicated TIMELINE artifact.  Absent entirely
+   when the timeline subsystem is disabled, so baselines recorded without
+   [--timeline-out] keep diffing clean. *)
+let timeline_json () =
+  if not (Timeline.enabled ()) then []
+  else
+    [
+      ( "timeline",
+        Json.Object
+          [
+            ("window_instrs", Json.Int (Timeline.window ()));
+            ( "series",
+              Json.Array
+                (List.map
+                   (fun (d : Timeline.dump) ->
+                     Json.Object
+                       [
+                         ("name", Json.String d.Timeline.d_name);
+                         ("kind", Json.String (Timeline.kind_name d.Timeline.d_kind));
+                         ("windows", Json.Int (Array.length d.Timeline.d_values));
+                         ("total", Json.Int d.Timeline.d_total);
+                       ])
+                   (Timeline.dump ())) );
+          ] );
+    ]
+
 let json ~scale ~total_seconds ~trace_cache_bytes ~figures =
   let replayed_runs = counter_value "context.replayed_runs" in
   let replay_seconds = gauge_value "context.replay_seconds" in
   Json.Object
-    [
-      ("schema", Json.String schema);
+    ([
+       ("schema", Json.String schema);
       ("scale", Json.String scale);
       ("generated_unix_time", Json.Float (Unix.time ()));
       ("argv", Json.Array (Array.to_list (Array.map (fun a -> Json.String a) Sys.argv)));
@@ -143,6 +171,7 @@ let json ~scale ~total_seconds ~trace_cache_bytes ~figures =
       ("passes", passes_json ());
       ("gc", gc_json ());
     ]
+    @ timeline_json ())
 
 let default_path ~scale = Printf.sprintf "BENCH_%s.json" scale
 

@@ -61,6 +61,7 @@ type shadow = {
   s_spans : (string, span_agg) Hashtbl.t;
   mutable s_stack : string list;
   mutable s_events : Json.t list; (* reversed *)
+  s_tl : Timeline.shadow; (* instruction-clock series, merged alongside *)
 }
 
 let make_shadow stack =
@@ -72,12 +73,18 @@ let make_shadow stack =
     s_spans = Hashtbl.create 16;
     s_stack = stack;
     s_events = [];
+    s_tl = Timeline.make_shadow ();
   }
 
 (* True only while a pool with worker domains is live; checked (one ref
-   read) before the DLS lookup so the serial fast path is unchanged. *)
+   read) before the DLS lookup so the serial fast path is unchanged.
+   Timeline keeps its own flag (it has its own DLS slot); flip both here
+   so producers of either kind see the same mode. *)
 let par_mode = ref false
-let set_parallel b = par_mode := b
+
+let set_parallel b =
+  par_mode := b;
+  Timeline.set_parallel b
 
 let dls_slot : shadow option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -387,7 +394,14 @@ module Isolated = struct
     let prev = !slot in
     let s = make_shadow inherit_spans in
     slot := Some s;
-    let v = Fun.protect ~finally:(fun () -> slot := prev) f in
+    let tl_prev = Timeline.Isolated.install s.s_tl in
+    let v =
+      Fun.protect
+        ~finally:(fun () ->
+          Timeline.Isolated.restore tl_prev;
+          slot := prev)
+        f
+    in
     (v, s)
 
   let sorted_handles name_of tbl =
@@ -431,6 +445,7 @@ module Isolated = struct
                g.a_count <- g.a_count + a.a_count;
                g.a_total <- g.a_total +. a.a_total;
                if a.a_max > g.a_max then g.a_max <- a.a_max));
+    Timeline.Isolated.merge s.s_tl;
     List.iter jsonl_write (List.rev s.s_events);
     s.s_events <- []
 
@@ -479,6 +494,14 @@ let close_jsonl () =
   match !jsonl with
   | None -> ()
   | Some oc ->
+      (* Watched instruments normally sample at span completion only, which
+         leaves their value-over-time tracks ending at the last span — emit
+         one final sample so the Chrome counter tracks cover the whole
+         run. *)
+      emit_samples (now_rel ());
+      (* Instruction-clock series, ahead of the registry dump so readers
+         that stop at the first counter event still see them. *)
+      List.iter jsonl_emit (Timeline.events ());
       (* Final registry dump so a JSONL stream is self-contained. *)
       List.iter
         (fun (n, v) ->

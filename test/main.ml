@@ -20,6 +20,7 @@ let () =
       Test_perf.suite;
       Test_harness.suite;
       Test_telemetry.suite;
+      Test_timeline.suite;
       Test_par.suite;
       Test_regress.suite;
       Test_properties.suite;
