@@ -19,7 +19,8 @@
      dune exec bench/main.exe -- --retain-mb 256       # bound trace-cache residency
      dune exec bench/main.exe -- --engine icache       # per-config caches for the sweeps
      dune exec bench/main.exe -- --timeline-out FILE   # windowed metric series artifact
-     dune exec bench/main.exe -- --timeline-window N   # override the window width (instrs) *)
+     dune exec bench/main.exe -- --timeline-window N   # override the window width (instrs)
+     dune exec bench/main.exe -- --explain-out FILE    # per-procedure layout scorecards *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -58,6 +59,7 @@ type options = {
   engine : Olayout_cachesim.Battery.engine;
   timeline_out : string option;
   timeline_window : int option;
+  explain_out : string option;
 }
 
 let flag_summary =
@@ -65,7 +67,8 @@ let flag_summary =
    --telemetry-summary, --only IDS, --telemetry-out FILE, --baseline FILE, \
    --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE, \
    -j/--jobs N|auto, --retain-mb MB, --bench-json-out FILE, \
-   --engine icache|stackdist, --timeline-out FILE, --timeline-window N"
+   --engine icache|stackdist, --timeline-out FILE, --timeline-window N, \
+   --explain-out FILE"
 
 let usage_error fmt =
   Printf.ksprintf
@@ -86,6 +89,7 @@ let parse_args () =
   let jobs = ref None and retain_mb = ref None and bench_json_out = ref None in
   let engine = ref `Stackdist in
   let timeline_out = ref None and timeline_window = ref None in
+  let explain_out = ref None in
   let missing opt expected =
     usage_error "option %s requires an argument: %s" opt expected
   in
@@ -134,6 +138,10 @@ let parse_args () =
     | [ "--timeline-out" ] -> missing "--timeline-out" "a JSON output path"
     | [ "--timeline-window" ] ->
         missing "--timeline-window" "a positive window width in instructions"
+    | [ "--explain-out" ] -> missing "--explain-out" "a JSON output path"
+    | "--explain-out" :: path :: rest ->
+        explain_out := Some path;
+        go rest
     | "--timeline-out" :: path :: rest ->
         timeline_out := Some path;
         go rest
@@ -225,6 +233,7 @@ let parse_args () =
     engine = !engine;
     timeline_out = !timeline_out;
     timeline_window = !timeline_window;
+    explain_out = !explain_out;
   }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
@@ -396,6 +405,13 @@ let () =
             (ctx, figures)))
   in
   Format.printf "@.bench total: %.1fs@." total_seconds;
+  (* Resource headlines next to the total: peak trace-cache residency and
+     the schedule's speedup estimate (serial-estimate / wall; 1.00 for a
+     serial run by construction). *)
+  let peak = Telemetry.gauge_value (Telemetry.gauge "context.trace_peak_bytes") in
+  Format.printf "trace cache peak: %.1f MiB; parallel speedup: %.2fx@."
+    (peak /. (1024.0 *. 1024.0))
+    (Telemetry.gauge_value (Telemetry.gauge "par.speedup"));
   (* Score the paper's claims before any artifact snapshot, so the
      fidelity.* gauges land in BENCH_<scale>.json as gated metrics. *)
   let fidelity = Fidelity.of_registry () in
@@ -441,6 +457,22 @@ let () =
       Timeline.write_artifact ~path ~scale:scale_name;
       Format.printf "timeline artifact written to %s@." path)
     opts.timeline_out;
+  (* The EXPLAIN artifact freezes at the same point on every CI leg (after
+     the TIMELINE snapshot, before the main leg's extra --diagnose replay):
+     the provenance capture re-runs the pure layout pipeline and the
+     scorecard measurement replays cached streams through the icache-backed
+     Diag, so the bytes match across -j values and sweep engines. *)
+  Option.iter
+    (fun path ->
+      let module Explain = Olayout_harness.Explain in
+      let module Diagnose = Olayout_harness.Diagnose in
+      let r = Explain.run ctx (Diagnose.preset_of_figure "fig4") in
+      List.iter
+        (fun tbl -> Olayout_harness.Table.print Format.std_formatter tbl)
+        (Explain.tables ~top:10 r);
+      Explain.write_artifact ~path ~scale:scale_name r;
+      Format.printf "explain artifact written to %s@." path)
+    opts.explain_out;
   if opts.diagnose then begin
     (* The DIAG artifact: diagnose the baseline layout at the headline
        geometry.  The icache-miss counter delta around the measurement is

@@ -6,6 +6,7 @@
      simulate     - run the OLTP workload through a custom instruction cache
      report       - regenerate the paper's figures (same engine as bench/)
      timeline     - windowed metric series over the simulated instruction stream
+     explain      - per-procedure layout scorecards (decisions, moves, regret)
      compare      - diff two bench/diag artifacts, gate on deterministic drift
      chrome-trace - telemetry JSONL -> Perfetto-loadable trace-event JSON *)
 
@@ -394,8 +395,25 @@ let diagnose_cmd =
 
 (* --- timeline --- *)
 
+(* --window takes a raw string so zero, negative and non-numeric widths all
+   get the same rejection (mirrors bench's --timeline-window validation and
+   its usage exit code 2) instead of cmdliner's int parse accepting 0. *)
 let timeline seed quick figure combo window engine out =
   let module Timeline = Olayout_telemetry.Timeline in
+  let window =
+    match window with
+    | None -> Ok None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some w when w >= 1 -> Ok (Some w)
+        | Some _ | None -> Error s)
+  in
+  match window with
+  | Error s ->
+      Printf.eprintf
+        "olayout: --window expects a positive instruction count, got %S\n" s;
+      2
+  | Ok window -> (
   match Olayout_harness.Diagnose.preset_of_figure figure with
   | exception Invalid_argument msg ->
       Printf.eprintf "olayout: %s\n" msg;
@@ -418,7 +436,7 @@ let timeline seed quick figure combo window engine out =
             ~scale:(if quick then "quick" else "full");
           Format.printf "timeline artifact written to %s@." path)
         out;
-      0
+      0)
 
 let timeline_cmd =
   let figure_arg =
@@ -436,7 +454,7 @@ let timeline_cmd =
   let window_arg =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some string) None
       & info [ "window" ] ~docv:"INSTRS"
           ~doc:
             "Window width in simulated instructions (default 65536 with \
@@ -476,6 +494,77 @@ let timeline_cmd =
     Term.(
       const timeline $ seed_arg $ quick_arg $ figure_arg $ base_combo_arg
       $ window_arg $ engine_arg $ out_arg)
+
+(* --- explain --- *)
+
+let explain seed quick figure combo top out =
+  let module Explain = Olayout_harness.Explain in
+  match Olayout_harness.Diagnose.preset_of_figure figure with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "olayout: %s\n" msg;
+      1
+  | preset -> (
+      let scale = if quick then Context.Quick else Context.Full in
+      let ctx = Context.create ~scale ~seed () in
+      match Explain.run ~combo ctx preset with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "olayout: %s\n" msg;
+          1
+      | r ->
+          List.iter
+            (fun tbl -> Table.print Format.std_formatter tbl)
+            (Explain.tables ~top r);
+          Option.iter
+            (fun path ->
+              Explain.write_artifact ~path
+                ~scale:(if quick then "quick" else "full")
+                r;
+              Format.printf "explain artifact written to %s@." path)
+            out;
+          0)
+
+let explain_cmd =
+  let figure_arg =
+    Arg.(
+      value & opt string "fig4"
+      & info [ "figure" ] ~docv:"ID"
+          ~doc:
+            (Printf.sprintf
+               "Cache geometry the scorecard measures under (%s)."
+               (String.concat ", "
+                  (List.map
+                     (fun p -> p.Olayout_harness.Diagnose.fig)
+                     Olayout_harness.Diagnose.presets))))
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Scorecard rows to print.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the olayout-explain/v1 artifact to $(docv).")
+  in
+  let opt_combo_arg =
+    Arg.(
+      value & opt combo_conv Spike.All
+      & info [ "combo" ] ~docv:"COMBO"
+          ~doc:
+            "Optimized layout to explain against base (any combo except \
+             $(b,base)).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Per-procedure layout scorecards: what each optimization pass \
+          decided, where every procedure moved, and what that did to its \
+          miss count (base vs optimized, ranked by layout regret).")
+    Term.(
+      const explain $ seed_arg $ quick_arg $ figure_arg $ opt_combo_arg
+      $ top_arg $ out_arg)
 
 (* --- report --- *)
 
@@ -767,5 +856,6 @@ let () =
        (Cmd.group (Cmd.info "olayout" ~doc)
           [
             inspect_cmd; profile_cmd; disasm_cmd; optimize_cmd; simulate_cmd; trace_cmd;
-            diagnose_cmd; timeline_cmd; report_cmd; compare_cmd; chrome_trace_cmd;
+            diagnose_cmd; timeline_cmd; explain_cmd; report_cmd; compare_cmd;
+            chrome_trace_cmd;
           ]))

@@ -1,6 +1,7 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
 module Telemetry = Olayout_telemetry.Telemetry
+module Provenance = Olayout_telemetry.Provenance
 
 let c_chains = Telemetry.counter "core.chains_formed"
 let c_edges_linked = Telemetry.counter "core.chain_edges_linked"
@@ -67,13 +68,16 @@ let chain_proc profile pid =
   in
   let succ = Array.make n_atoms (-1) and pred = Array.make n_atoms (-1) in
   let parent = Array.init n_atoms (fun i -> i) in
+  let linked = ref 0 and top_weight = ref 0.0 in
   List.iter
-    (fun (_, s, d) ->
+    (fun (w, s, d) ->
       if succ.(s) = -1 && pred.(d) = -1 && find parent s <> find parent d then begin
         succ.(s) <- d;
         pred.(d) <- s;
         parent.(find parent s) <- find parent d;
-        Telemetry.incr c_edges_linked
+        Telemetry.incr c_edges_linked;
+        incr linked;
+        if w > !top_weight then top_weight := w
       end)
     edges;
   (* Collect chains from atom heads. *)
@@ -86,6 +90,14 @@ let chain_proc profile pid =
   done;
   let chains = List.rev !chains in
   Telemetry.add c_chains (List.length chains);
+  if Provenance.enabled () then
+    Provenance.record ~pass:"chaining" ~subject:pid
+      [
+        ("atoms", Provenance.Int n_atoms);
+        ("chains", Provenance.Int (List.length chains));
+        ("edges_linked", Provenance.Int !linked);
+        ("top_edge_weight", Provenance.Float !top_weight);
+      ];
   let first_block chain = List.hd atoms.(List.hd chain) in
   let count chain = Profile.block_count profile ~proc:pid ~block:(first_block chain) in
   let entry_atom = atom_of.(p.entry) in

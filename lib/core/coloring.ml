@@ -1,5 +1,6 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
+module Provenance = Olayout_telemetry.Provenance
 
 let line_bytes = 64
 
@@ -43,6 +44,7 @@ let place profile ~segments ~cache_bytes ?(max_gap_lines = 16) () =
         heat_of_color.((first + i) mod n_colors) +. heat_per_line
     done
   in
+  let prov = Provenance.enabled () in
   let addr_of seg cursor =
     let heat = float_of_int (segment_heat profile seg) in
     let bytes = segment_bytes prog seg in
@@ -60,6 +62,15 @@ let place profile ~segments ~cache_bytes ?(max_gap_lines = 16) () =
       done;
       let lines = max 1 ((bytes + line_bytes - 1) / line_bytes) in
       claim !best bytes (heat /. float_of_int lines);
+      if prov then
+        Provenance.record ~pass:"coloring" ~subject:seg.Segment.proc
+          [
+            ("color", Provenance.Int (color_of !best));
+            ("gap_lines", Provenance.Int ((!best - cursor) / line_bytes));
+            ("contention", Provenance.Float !best_score);
+            ("heat", Provenance.Float heat);
+            ("bytes", Provenance.Int bytes);
+          ];
       !best
     end
   in

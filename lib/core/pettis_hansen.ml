@@ -1,6 +1,7 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
 module Telemetry = Olayout_telemetry.Telemetry
+module Provenance = Olayout_telemetry.Provenance
 
 let c_edges_merged = Telemetry.counter "core.ph_edges_merged"
 
@@ -103,9 +104,14 @@ let pair_weights profile segments =
 
 let rec find parent x = if parent.(x) = x then x else find parent parent.(x)
 
-let order_weighted ~weights ~heat segments =
+let order_weighted ?(pass = "pettis_hansen") ~weights ~heat segments =
   let seg_arr = Array.of_list segments in
   let n = Array.length seg_arr in
+  (* Decision provenance is checked once per invocation; the merge loop
+     pays nothing while the subsystem is disabled. *)
+  let prov = Provenance.enabled () in
+  let merge_step = ref 0 in
+  let proc_of i = seg_arr.(i).Segment.proc in
   let wtbl : (int * int, float ref) Hashtbl.t = Hashtbl.create (List.length weights * 2) in
   List.iter
     (fun ((a, b), w) ->
@@ -161,6 +167,18 @@ let order_weighted ~weights ~heat segments =
           in
           let merged = snd best in
           Telemetry.incr c_edges_merged;
+          if prov then begin
+            (* One event per merge, charged to the group being absorbed:
+               "this procedure was pulled next to that one by an edge of
+               this weight, at this point in the greedy order". *)
+            incr merge_step;
+            Provenance.record ~pass ~subject:(proc_of rb)
+              [
+                ("partner", Provenance.Int (proc_of ra));
+                ("weight", Provenance.Float w);
+                ("step", Provenance.Int !merge_step);
+              ]
+          end;
           (* rb joins ra. *)
           parent.(rb) <- ra;
           seq.(ra) <- merged;
@@ -200,7 +218,16 @@ let order_weighted ~weights ~heat segments =
         | c -> c)
       (List.rev !groups)
   in
-  List.concat_map (fun (_, members) -> List.map (fun i -> seg_arr.(i)) members) groups
+  let ordered =
+    List.concat_map (fun (_, members) -> List.map (fun i -> seg_arr.(i)) members) groups
+  in
+  if prov then
+    List.iteri
+      (fun rank (seg : Segment.t) ->
+        Provenance.record ~pass ~subject:seg.Segment.proc
+          [ ("rank", Provenance.Int rank) ])
+      ordered;
+  ordered
 
 let order profile segments =
   let weights = pair_weights profile segments in

@@ -15,6 +15,7 @@ val order : Olayout_profile.Profile.t -> Segment.t list -> Segment.t list
 (** Reorder segments; the result is a permutation of the input. *)
 
 val order_weighted :
+  ?pass:string ->
   weights:((int * int) * float) list ->
   heat:(int -> float) ->
   Segment.t list ->
@@ -23,7 +24,12 @@ val order_weighted :
     [weights] are undirected pair weights over input segment indices,
     [heat i] ranks groups for final emission.  {!order} is this engine with
     profiled call/branch weights; {!Temporal_order.order} feeds it a
-    temporal-relationship graph instead (Gloy et al.). *)
+    temporal-relationship graph instead (Gloy et al.).
+
+    While [Olayout_telemetry.Provenance] is enabled, every greedy merge
+    and every final ordering rank is recorded under the [pass] label
+    (default ["pettis_hansen"]; {!Temporal_order.order} passes
+    ["temporal_order"]). *)
 
 val pair_weights :
   Olayout_profile.Profile.t -> Segment.t list -> ((int * int) * float) list

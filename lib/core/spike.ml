@@ -1,6 +1,7 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
 module Telemetry = Olayout_telemetry.Telemetry
+module Provenance = Olayout_telemetry.Provenance
 
 let c_optimize = Telemetry.counter "spike.optimize_calls"
 
@@ -41,6 +42,37 @@ let segments_for profile = function
       let split = splitting_span (fun () -> Splitting.fine_grain profile) in
       porder_span (fun () -> Pettis_hansen.order profile split)
 
+(* The closing provenance event of the pipeline: where each procedure
+   ended up under this combo.  [rank] is the position of the procedure's
+   first segment in the final order, [addr] its entry block's address,
+   [bytes] its total encoded size — the fields the explain scorecard (and
+   the Chrome-trace address-space track) joins against.  The name rides
+   along so downstream consumers never need the program to label spans. *)
+let record_placement profile combo placement =
+  let prog = Profile.prog profile in
+  let n = Prog.n_procs prog in
+  let rank = Array.make n (-1) in
+  List.iteri
+    (fun i (seg : Segment.t) ->
+      if rank.(seg.Segment.proc) < 0 then rank.(seg.Segment.proc) <- i)
+    (Placement.segments placement);
+  let bytes = Array.make n 0 in
+  Placement.iter_placed placement (fun ~proc ~block:_ ~addr:_ ~instrs ->
+      bytes.(proc) <- bytes.(proc) + (instrs * Block.bytes_per_instr));
+  for pid = 0 to n - 1 do
+    let p = Prog.proc prog pid in
+    Provenance.record ~pass:"placement" ~subject:pid
+      [
+        ("combo", Provenance.String (combo_name combo));
+        ("name", Provenance.String p.Proc.name);
+        ("rank", Provenance.Int rank.(pid));
+        ( "addr",
+          Provenance.Int
+            (Placement.block_addr placement ~proc:pid ~block:p.Proc.entry) );
+        ("bytes", Provenance.Int bytes.(pid));
+      ]
+  done
+
 let optimize ?align profile combo =
   Telemetry.incr c_optimize;
   Telemetry.span "optimize" (fun () ->
@@ -51,8 +83,12 @@ let optimize ?align profile combo =
         | None, (Porder | Chain | Chain_split | Chain_porder | All) -> 4
       in
       let segments = segments_for profile combo in
-      placement_span (fun () ->
-          Placement.of_segments ~align (Profile.prog profile) segments))
+      let placement =
+        placement_span (fun () ->
+            Placement.of_segments ~align (Profile.prog profile) segments)
+      in
+      if Provenance.enabled () then record_placement profile combo placement;
+      placement)
 
 let hot_cold_all ?threshold profile =
   Telemetry.span "optimize" (fun () ->

@@ -1,13 +1,23 @@
 open Olayout_ir
 module Profile = Olayout_profile.Profile
 module Telemetry = Olayout_telemetry.Telemetry
+module Provenance = Olayout_telemetry.Provenance
 
 let c_segments = Telemetry.counter "core.split_segments_cut"
 
 let fine_grain_of_chains _prog proc_chains =
+  let prov = Provenance.enabled () in
   List.concat_map
     (fun (pid, chains) ->
       Telemetry.add c_segments (List.length chains);
+      if prov then
+        Provenance.record ~pass:"splitting" ~subject:pid
+          [
+            ("segments", Provenance.Int (List.length chains));
+            ( "blocks",
+              Provenance.Int
+                (List.fold_left (fun acc c -> acc + List.length c) 0 chains) );
+          ];
       List.map (fun blocks -> { Segment.proc = pid; blocks }) chains)
     proc_chains
 
@@ -55,5 +65,12 @@ let hot_cold ?(threshold = 0) profile =
         | hot, cold -> [ mk hot; mk cold ]
       in
       Telemetry.add c_segments (List.length segs);
+      if Provenance.enabled () then
+        Provenance.record ~pass:"splitting" ~subject:pid
+          [
+            ("segments", Provenance.Int (List.length segs));
+            ("hot_blocks", Provenance.Int (List.length hot));
+            ("cold_blocks", Provenance.Int (List.length cold));
+          ];
       segs)
     (List.init (Prog.n_procs prog) (fun i -> i))

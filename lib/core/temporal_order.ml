@@ -21,6 +21,6 @@ let order temporal ~heat segments =
         | _, _ -> None)
       (Temporal.pairs temporal)
   in
-  Pettis_hansen.order_weighted ~weights
+  Pettis_hansen.order_weighted ~pass:"temporal_order" ~weights
     ~heat:(fun i -> heat seg_arr.(i))
     segments

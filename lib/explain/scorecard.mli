@@ -1,0 +1,81 @@
+(** Per-procedure layout scorecards: the join at the heart of the explain
+    subsystem.
+
+    A scorecard row answers, for one application procedure, the three
+    questions an engineer asks of a layout pass: {e what did the
+    optimizer decide} (from the {!Olayout_telemetry.Provenance} decision
+    log), {e where did the procedure end up} (entry-address delta between
+    the base and optimized {!Olayout_core.Placement}s), and {e what did
+    that cost or save} (per-segment miss attribution from two
+    {!Olayout_diag.Diag} captures of the same replayed stream).  Rows are
+    ranked by "layout regret" — optimized misses minus base misses —
+    so the procedures the layout hurt most float to the top.
+
+    Building a scorecard is pure bookkeeping over deterministic inputs;
+    the resulting JSON is byte-identical at any [-j] and under either
+    sweep engine. *)
+
+type row = {
+  sc_proc : int;  (** Procedure id within the application program. *)
+  sc_name : string;
+  sc_rank : int;
+      (** Position of the procedure's first segment in the optimized
+          order, from the "placement" provenance event; -1 if unknown. *)
+  sc_base_addr : int;  (** Entry-block address under the base layout. *)
+  sc_opt_addr : int;  (** Entry-block address under the optimized layout. *)
+  sc_moved_bytes : int;  (** [sc_opt_addr - sc_base_addr]. *)
+  sc_base_misses : int;  (** Misses attributed to the proc, base layout. *)
+  sc_opt_misses : int;  (** Misses attributed to the proc, optimized. *)
+  sc_regret : int;
+      (** [sc_opt_misses - sc_base_misses]; positive means the layout
+          decision correlates with worse locality for this procedure. *)
+  sc_base_conflict : int;  (** Conflict-class misses, base layout. *)
+  sc_opt_conflict : int;  (** Conflict-class misses, optimized layout. *)
+  sc_partner : string option;
+      (** Segment name of the hottest conflict partner under the base
+          layout, if any pair touches this procedure. *)
+  sc_partner_evictions : int;  (** Eviction count of that hottest pair. *)
+  sc_decisions : int;  (** Provenance events recorded about this proc. *)
+  sc_rationale : string;
+      (** Human-readable digest of the decision log, one clause per
+          pass in pipeline order. *)
+}
+
+val proc_of_seg_name : Olayout_ir.Prog.t -> string -> int option
+(** Map a diagnosis segment name back to an application procedure id:
+    kernel segments (containing ['/']) map to [None]; split suffixes
+    (["name#k"]) are stripped before lookup. *)
+
+val build :
+  prog:Olayout_ir.Prog.t ->
+  combo:string ->
+  base:Olayout_core.Placement.t ->
+  opt:Olayout_core.Placement.t ->
+  events:Olayout_telemetry.Provenance.event list ->
+  base_diag:Olayout_diag.Diag.t ->
+  opt_diag:Olayout_diag.Diag.t ->
+  unit ->
+  row list
+(** Join the three sources into rows sorted by descending regret (ties:
+    descending optimized misses, then name).  Only procedures with
+    attributed misses under either layout appear.  "placement" events
+    whose ["combo"] field differs from [combo] are ignored, so a log that
+    covers several pipelines scores only the requested one. *)
+
+type summary = {
+  sm_procs : int;
+  sm_moved : int;  (** Procedures whose entry address changed. *)
+  sm_regressed : int;  (** Rows with positive regret. *)
+  sm_improved : int;  (** Rows with negative regret. *)
+  sm_base_misses : int;
+  sm_opt_misses : int;
+  sm_decisions : int;
+}
+
+val summarize : row list -> summary
+
+val row_json : row -> Olayout_telemetry.Json.t
+
+val json : ?top:int -> row list -> Olayout_telemetry.Json.t
+(** [{"summary": {...}, "procs": [...]}]; [top] (default 20) truncates
+    the row array, the summary always covers every row. *)

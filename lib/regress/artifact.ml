@@ -13,7 +13,13 @@ module Json = Olayout_telemetry.Json
 
 exception Load_error of string
 
-let known_schemas = [ "olayout-bench/v1"; "olayout-diag/v1"; "olayout-timeline/v1" ]
+let known_schemas =
+  [
+    "olayout-bench/v1";
+    "olayout-diag/v1";
+    "olayout-timeline/v1";
+    "olayout-explain/v1";
+  ]
 
 type t = {
   path : string;  (** source file, or ["<memory>"] for {!of_json} *)

@@ -13,7 +13,15 @@
    instruction clock) render as counter tracks in a second process
    (pid 2): their clock is instructions, not seconds, so they must not
    share an axis with the wall-clock spans.  One simulated instruction
-   maps to one microsecond. *)
+   maps to one microsecond.
+
+   {"ev":"provenance",...} lines from the layout-decision log get a third
+   process (pid 3, "address space"): each pipeline's final placement
+   events render as one "X" span per procedure with ts = entry address
+   and dur = encoded bytes (1 byte = 1 us), one track per combo — a
+   scrollable memory map of where the optimizer put everything.
+   Decision events from the other passes carry no spatial coordinate and
+   are skipped. *)
 
 module Json = Olayout_telemetry.Json
 
@@ -52,6 +60,7 @@ let of_events events =
   in
   let spans = ref [] and samples = ref [] in
   let timelines = ref [] in
+  let placements = ref [] in
   List.iter
     (fun ev ->
       match Json.member "ev" ev with
@@ -89,6 +98,21 @@ let of_events events =
               in
               timelines := (name, w, values) :: !timelines
           | _ -> fail "timeline event missing name/window_instrs/values")
+      | Some (Json.String "provenance") -> (
+          match Json.member "pass" ev with
+          | Some (Json.String "placement") -> (
+              let fields = Json.member "fields" ev in
+              let fget k = Option.bind fields (Json.member k) in
+              match
+                ( fget "combo", fget "name",
+                  Option.bind (fget "addr") Json.get_int,
+                  Option.bind (fget "bytes") Json.get_int )
+              with
+              | Some (Json.String combo), Some (Json.String name), Some addr,
+                Some bytes ->
+                  placements := (combo, name, addr, bytes) :: !placements
+              | _ -> fail "placement provenance event missing combo/name/addr/bytes")
+          | _ -> () (* per-pass decision events have no spatial coordinate *))
       (* meta header and final registry dump events carry no timeline *)
       | _ -> ())
     events;
@@ -148,6 +172,33 @@ let of_events events =
           values)
       (List.rev !timelines)
   in
+  (* The memory map: one track per combo, spans positioned by address. *)
+  let combo_tids : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let combos = ref [] in
+  let combo_tid_of combo =
+    match Hashtbl.find_opt combo_tids combo with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.length combo_tids + 1 in
+        Hashtbl.add combo_tids combo t;
+        combos := combo :: !combos;
+        t
+  in
+  let placement_events =
+    List.map
+      (fun (combo, name, addr, bytes) ->
+        Json.Object
+          [
+            ("name", Json.String name);
+            ("cat", Json.String "provenance");
+            ("ph", Json.String "X");
+            ("pid", Json.Int 3);
+            ("tid", Json.Int (combo_tid_of combo));
+            ("ts", Json.Float (float_of_int addr));
+            ("dur", Json.Float (float_of_int (max bytes 1)));
+          ])
+      (List.rev !placements)
+  in
   let thread_metas =
     List.concat_map
       (fun phase ->
@@ -196,12 +247,36 @@ let of_events events =
           ];
       ]
   in
+  let addr_metas =
+    if placement_events = [] then []
+    else
+      Json.Object
+        [
+          ("name", Json.String "process_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int 3);
+          ( "args",
+            Json.Object [ ("name", Json.String "address space (1 B = 1 us)") ] );
+        ]
+      :: List.map
+           (fun combo ->
+             Json.Object
+               [
+                 ("name", Json.String "thread_name");
+                 ("ph", Json.String "M");
+                 ("pid", Json.Int 3);
+                 ("tid", Json.Int (Hashtbl.find combo_tids combo));
+                 ("args", Json.Object [ ("name", Json.String combo) ]);
+               ])
+           (List.rev !combos)
+  in
   Json.Object
     [
       ( "traceEvents",
         Json.Array
           ((process_meta :: thread_metas)
-          @ instr_process_meta @ List.map snd timeline @ instr_counter_events) );
+          @ instr_process_meta @ addr_metas @ List.map snd timeline
+          @ instr_counter_events @ placement_events) );
       ("displayTimeUnit", Json.String "ms");
       ("otherData", Json.Object [ ("schema", Json.String schema) ]);
     ]

@@ -79,6 +79,9 @@ let classify path =
      olayout-timeline/v1 document (whose own heads are window_instrs /
      series, caught by the deterministic fallback). *)
   | "timeline" -> Deterministic
+  (* Layout scorecards (olayout-explain/v1): provenance decisions plus
+     replayed-trace miss attribution, byte-identical across legs. *)
+  | "explain" -> Deterministic
   | "figures" ->
       if ends_with ~suffix:"seconds" path || ends_with ~suffix:"mruns_per_s" path
       then Timing

@@ -62,6 +62,7 @@ type shadow = {
   mutable s_stack : string list;
   mutable s_events : Json.t list; (* reversed *)
   s_tl : Timeline.shadow; (* instruction-clock series, merged alongside *)
+  s_pv : Provenance.shadow; (* layout-decision events, merged alongside *)
 }
 
 let make_shadow stack =
@@ -74,17 +75,20 @@ let make_shadow stack =
     s_stack = stack;
     s_events = [];
     s_tl = Timeline.make_shadow ();
+    s_pv = Provenance.make_shadow ();
   }
 
 (* True only while a pool with worker domains is live; checked (one ref
    read) before the DLS lookup so the serial fast path is unchanged.
-   Timeline keeps its own flag (it has its own DLS slot); flip both here
-   so producers of either kind see the same mode. *)
+   Timeline and Provenance keep their own flags (each has its own DLS
+   slot); flip all three here so producers of any kind see the same
+   mode. *)
 let par_mode = ref false
 
 let set_parallel b =
   par_mode := b;
-  Timeline.set_parallel b
+  Timeline.set_parallel b;
+  Provenance.set_parallel b
 
 let dls_slot : shadow option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -395,9 +399,11 @@ module Isolated = struct
     let s = make_shadow inherit_spans in
     slot := Some s;
     let tl_prev = Timeline.Isolated.install s.s_tl in
+    let pv_prev = Provenance.Isolated.install s.s_pv in
     let v =
       Fun.protect
         ~finally:(fun () ->
+          Provenance.Isolated.restore pv_prev;
           Timeline.Isolated.restore tl_prev;
           slot := prev)
         f
@@ -446,6 +452,7 @@ module Isolated = struct
                g.a_total <- g.a_total +. a.a_total;
                if a.a_max > g.a_max then g.a_max <- a.a_max));
     Timeline.Isolated.merge s.s_tl;
+    Provenance.Isolated.merge s.s_pv;
     List.iter jsonl_write (List.rev s.s_events);
     s.s_events <- []
 
@@ -502,6 +509,9 @@ let close_jsonl () =
       (* Instruction-clock series, ahead of the registry dump so readers
          that stop at the first counter event still see them. *)
       List.iter jsonl_emit (Timeline.events ());
+      (* Layout-decision events (the Chrome-trace export renders the
+         placement ones as per-procedure address-space spans). *)
+      List.iter jsonl_emit (Provenance.events_json ());
       (* Final registry dump so a JSONL stream is self-contained. *)
       List.iter
         (fun (n, v) ->

@@ -21,6 +21,7 @@ let () =
       Test_harness.suite;
       Test_telemetry.suite;
       Test_timeline.suite;
+      Test_explain.suite;
       Test_par.suite;
       Test_regress.suite;
       Test_properties.suite;

@@ -310,6 +310,32 @@ let test_report_determinism () =
         true (a1 = a2))
     sa pa
 
+(* Satellite of the report-determinism property, aimed at the diagnosis
+   layer: the conflict-pair ranking fig4's diagnosis extracts from a run
+   must be identical whether the preceding figure schedule ran serially
+   or on a 4-domain pool (the diagnosis itself always replays on the
+   dispatching domain). *)
+let conflict_pairs_after ~pool =
+  let module Diag = Olayout_diag.Diag in
+  let module Diagnose = Olayout_harness.Diagnose in
+  let ctx = Context.create ~scale:Context.Quick () in
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  ignore (Report.run ~selection:(Report.Only [ "fig4"; "fig6" ]) ?pool ctx null_ppf);
+  let d = Diagnose.run ctx (Diagnose.preset_of_figure "fig4") in
+  List.map
+    (fun (p : Diag.conflict_pair) ->
+      (p.Diag.cp_evictor, p.Diag.cp_victim, p.Diag.cp_count, p.Diag.cp_sets))
+    (Diag.conflict_pairs ~top:10 d)
+
+let test_conflict_pairs_determinism () =
+  let serial = conflict_pairs_after ~pool:None in
+  let parallel = with_pool ~jobs:4 (fun p -> conflict_pairs_after ~pool:(Some p)) in
+  Alcotest.(check bool) "some conflict pairs found" true (serial <> []);
+  Alcotest.(check (list (pair (pair string string) (pair int int))))
+    "top conflict pairs identical at -j 1 and -j 4"
+    (List.map (fun (e, v, c, s) -> ((e, v), (c, s))) serial)
+    (List.map (fun (e, v, c, s) -> ((e, v), (c, s))) parallel)
+
 let suite =
   ( "par",
     [
@@ -324,4 +350,6 @@ let suite =
       Alcotest.test_case "trace retention" `Slow test_retention;
       Alcotest.test_case "report determinism -j1 vs -j4" `Slow
         test_report_determinism;
+      Alcotest.test_case "conflict-pair ranking -j1 vs -j4" `Slow
+        test_conflict_pairs_determinism;
     ] )
