@@ -20,7 +20,8 @@
      dune exec bench/main.exe -- --engine icache       # per-config caches for the sweeps
      dune exec bench/main.exe -- --timeline-out FILE   # windowed metric series artifact
      dune exec bench/main.exe -- --timeline-window N   # override the window width (instrs)
-     dune exec bench/main.exe -- --explain-out FILE    # per-procedure layout scorecards *)
+     dune exec bench/main.exe -- --explain-out FILE    # per-procedure layout scorecards
+     dune exec bench/main.exe -- --drift-out FILE      # workload-drift observatory artifact *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -60,6 +61,7 @@ type options = {
   timeline_out : string option;
   timeline_window : int option;
   explain_out : string option;
+  drift_out : string option;
 }
 
 let flag_summary =
@@ -68,7 +70,7 @@ let flag_summary =
    --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE, \
    -j/--jobs N|auto, --retain-mb MB, --bench-json-out FILE, \
    --engine icache|stackdist, --timeline-out FILE, --timeline-window N, \
-   --explain-out FILE"
+   --explain-out FILE, --drift-out FILE"
 
 let usage_error fmt =
   Printf.ksprintf
@@ -89,7 +91,7 @@ let parse_args () =
   let jobs = ref None and retain_mb = ref None and bench_json_out = ref None in
   let engine = ref `Stackdist in
   let timeline_out = ref None and timeline_window = ref None in
-  let explain_out = ref None in
+  let explain_out = ref None and drift_out = ref None in
   let missing opt expected =
     usage_error "option %s requires an argument: %s" opt expected
   in
@@ -139,8 +141,12 @@ let parse_args () =
     | [ "--timeline-window" ] ->
         missing "--timeline-window" "a positive window width in instructions"
     | [ "--explain-out" ] -> missing "--explain-out" "a JSON output path"
+    | [ "--drift-out" ] -> missing "--drift-out" "a JSON output path"
     | "--explain-out" :: path :: rest ->
         explain_out := Some path;
+        go rest
+    | "--drift-out" :: path :: rest ->
+        drift_out := Some path;
         go rest
     | "--timeline-out" :: path :: rest ->
         timeline_out := Some path;
@@ -234,6 +240,7 @@ let parse_args () =
     timeline_out = !timeline_out;
     timeline_window = !timeline_window;
     explain_out = !explain_out;
+    drift_out = !drift_out;
   }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
@@ -473,6 +480,22 @@ let () =
       Explain.write_artifact ~path ~scale:scale_name r;
       Format.printf "explain artifact written to %s@." path)
     opts.explain_out;
+  (* The DRIFT artifact: reuse the report's drift-experiment result when it
+     ran (the default selection includes it), otherwise run the two-pass
+     driver now.  Emitted before --diagnose for the same cross-leg freeze
+     reason as TIMELINE/EXPLAIN. *)
+  Option.iter
+    (fun path ->
+      let module Drift = Olayout_harness.Drift in
+      let module Diagnose = Olayout_harness.Diagnose in
+      let r =
+        match Drift.last () with
+        | Some r -> r
+        | None -> Drift.run ctx (Diagnose.preset_of_figure "fig4")
+      in
+      Drift.write_artifact ~path ~scale:scale_name r;
+      Format.printf "drift artifact written to %s@." path)
+    opts.drift_out;
   if opts.diagnose then begin
     (* The DIAG artifact: diagnose the baseline layout at the headline
        geometry.  The icache-miss counter delta around the measurement is

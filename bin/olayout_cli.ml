@@ -7,8 +7,13 @@
      report       - regenerate the paper's figures (same engine as bench/)
      timeline     - windowed metric series over the simulated instruction stream
      explain      - per-procedure layout scorecards (decisions, moves, regret)
+     drift        - workload-drift observatory: divergence series + staleness matrix
      compare      - diff two bench/diag artifacts, gate on deterministic drift
-     chrome-trace - telemetry JSONL -> Perfetto-loadable trace-event JSON *)
+     chrome-trace - telemetry JSONL -> Perfetto-loadable trace-event JSON
+
+   Running with no arguments (or "help") prints a one-line overview of
+   every subcommand; an unknown subcommand names the valid set and exits
+   with the usage status 2. *)
 
 open Cmdliner
 module Context = Olayout_harness.Context
@@ -566,6 +571,103 @@ let explain_cmd =
       const explain $ seed_arg $ quick_arg $ figure_arg $ opt_combo_arg
       $ top_arg $ out_arg)
 
+(* --- drift --- *)
+
+(* --windows takes a raw string so zero, one, negative and non-numeric
+   phase counts all get the same rejection and the usage exit code 2
+   (mirrors timeline's --window validation). *)
+let drift seed quick figure combo windows top out =
+  let module Drift = Olayout_harness.Drift in
+  let windows =
+    match windows with
+    | None -> Ok Drift.default_phases
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some w when w >= 2 -> Ok w
+        | Some _ | None -> Error s)
+  in
+  match windows with
+  | Error s ->
+      Printf.eprintf
+        "olayout: --windows expects at least 2 profile phases, got %S\n" s;
+      2
+  | Ok phases -> (
+      match Olayout_harness.Diagnose.preset_of_figure figure with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "olayout: %s\n" msg;
+          1
+      | preset -> (
+          let scale = if quick then Context.Quick else Context.Full in
+          let ctx = Context.create ~scale ~seed () in
+          match Drift.run ~combo ~phases ~top ctx preset with
+          | exception Invalid_argument msg ->
+              Printf.eprintf "olayout: %s\n" msg;
+              1
+          | r ->
+              Drift.Observatory.pp Format.std_formatter r;
+              Option.iter
+                (fun path ->
+                  Drift.write_artifact ~path
+                    ~scale:(if quick then "quick" else "full")
+                    r;
+                  Format.printf "drift artifact written to %s@." path)
+                out;
+              0))
+
+let drift_cmd =
+  let figure_arg =
+    Arg.(
+      value & opt string "fig4"
+      & info [ "figure" ] ~docv:"ID"
+          ~doc:
+            (Printf.sprintf
+               "Cache geometry the staleness matrix replays under (%s)."
+               (String.concat ", "
+                  (List.map
+                     (fun p -> p.Olayout_harness.Diagnose.fig)
+                     Olayout_harness.Diagnose.presets))))
+  in
+  let windows_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "windows" ] ~docv:"N"
+          ~doc:
+            "Profile phases in the staleness matrix (default 4, at least 2): \
+             the mix-shift schedule rotates through $(docv) slots and one \
+             layout is derived per phase.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Hot-set size for the Jaccard and rank-churn series.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the olayout-drift/v1 artifact to $(docv).")
+  in
+  let opt_combo_arg =
+    Arg.(
+      value & opt combo_conv Spike.All
+      & info [ "combo" ] ~docv:"COMBO"
+          ~doc:
+            "Layout algorithm applied per phase (any combo except $(b,base)).")
+  in
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:
+         "Workload-drift observatory: run the OLTP server under a \
+          deterministic mid-run mix shift, chart per-window profile \
+          divergence as sparklines, and replay every (phase layout, phase \
+          slice) pairing into a layout-staleness heatmap.")
+    Term.(
+      const drift $ seed_arg $ quick_arg $ figure_arg $ opt_combo_arg
+      $ windows_arg $ top_arg $ out_arg)
+
 (* --- report --- *)
 
 let report seed quick only trace_stats telemetry telemetry_out jobs retain_mb engine =
@@ -849,13 +951,58 @@ let chrome_trace_cmd =
           track per figure phase, counter tracks for watched instruments.")
     Term.(const chrome_trace $ src_arg $ dst_arg)
 
+(* --- entry point --- *)
+
+(* One line per subcommand, in the order they appear in the group. *)
+let overview =
+  [
+    ("inspect", "build the synthetic binaries and show their structure");
+    ("profile", "run the training phase and save the profile to a file");
+    ("disasm", "list placed code with addresses and branch targets");
+    ("optimize", "profile the workload and compare layout combinations");
+    ("simulate", "run the OLTP workload through an instruction cache");
+    ("trace", "dump the instruction-fetch trace under a layout");
+    ("diagnose", "classify i-cache misses and attribute them to code segments");
+    ("timeline", "windowed metric series over the simulated instruction clock");
+    ("explain", "per-procedure layout scorecards (decisions, moves, regret)");
+    ("drift", "workload-drift observatory: divergence series + staleness matrix");
+    ("report", "regenerate the paper's figures");
+    ("compare", "diff two run artifacts, gate on deterministic drift");
+    ("chrome-trace", "telemetry JSONL -> Perfetto-loadable trace-event JSON");
+    ("help", "show this overview");
+  ]
+
+let print_overview () =
+  print_endline "olayout — code layout optimizations for transaction processing workloads";
+  print_newline ();
+  List.iter (fun (name, doc) -> Printf.printf "  %-13s %s\n" name doc) overview;
+  print_newline ();
+  print_endline "Run 'olayout SUBCOMMAND --help' for that subcommand's flags."
+
 let () =
+  (* Subcommand dispatch runs before cmdliner: bare "olayout" and
+     "olayout help" print the overview, and a misspelled subcommand names
+     the valid set on stderr with the usage exit code instead of
+     cmdliner's terse unknown-command error. *)
+  (match Array.to_list Sys.argv with
+  | _ :: ([] | "help" :: _) ->
+      print_overview ();
+      exit 0
+  | _ :: cmd :: _
+    when String.length cmd > 0
+         && cmd.[0] <> '-'
+         && not (List.mem_assoc cmd overview) ->
+      Printf.eprintf "olayout: unknown subcommand %S (valid: %s)\n" cmd
+        (String.concat ", "
+           (List.map fst (List.filter (fun (n, _) -> n <> "help") overview)));
+      exit 2
+  | _ -> ());
   let doc = "code layout optimizations for transaction processing workloads" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "olayout" ~doc)
           [
             inspect_cmd; profile_cmd; disasm_cmd; optimize_cmd; simulate_cmd; trace_cmd;
-            diagnose_cmd; timeline_cmd; explain_cmd; report_cmd; compare_cmd;
+            diagnose_cmd; timeline_cmd; explain_cmd; drift_cmd; report_cmd; compare_cmd;
             chrome_trace_cmd;
           ]))

@@ -1,0 +1,95 @@
+(** Drift-observatory result record: the per-window profile-divergence
+    series and the layout-staleness matrix, plus artifact emission, gauge
+    publication and console rendering.
+
+    Every numeric field is an integer (permille for ratios, raw
+    misses/instrs for matrix cells) so the [olayout-drift/v1] document is
+    byte-identical across [-j] values and sweep engines — the CI legs hold
+    it to [cmp] equality. *)
+
+type point = {
+  p_window : int;  (** fine-window index on the instruction clock *)
+  p_events : int;  (** block events profiled in the window *)
+  p_l1_vs_prev : int;  (** permille; 0 for the first window *)
+  p_l1_vs_train : int;
+  p_jaccard_vs_prev : int;  (** similarity permille; 1000 for the first *)
+  p_jaccard_vs_train : int;
+  p_churn_vs_prev : int;
+}
+
+type cell = { misses : int; instrs : int }
+
+type t = {
+  o_figure : string;
+  o_combo : string;
+  o_window_instrs : int;
+  o_top_k : int;
+  o_points : point list;
+  o_phase_names : string array;  (** length N: dominant schedule phase *)
+  o_phase_events : int array;  (** profiled block events per phase *)
+  o_rows : string array;  (** length N+1: layout sources (phases + train) *)
+  o_cells : cell array array;  (** (N+1) rows x N replayed phases *)
+}
+
+val phases : t -> int
+(** Number of replayed phases N (matrix columns). *)
+
+val rows : t -> int
+(** Number of layout rows, N+1 (one per phase plus the training row). *)
+
+val mpki_x100 : cell -> int
+(** Misses per 1000 instructions, scaled by 100 (integer fixed-point). *)
+
+(** {1 Summary scalars} — the values behind the [drift.*] gauges. *)
+
+val max_l1_vs_prev : t -> int
+val max_l1_vs_train : t -> int
+val max_churn_vs_prev : t -> int
+val min_jaccard_vs_train : t -> int
+
+val diag_max_mpki_x100 : t -> int
+(** Worst diagonal cell over the N phase-layout rows: each layout replaying
+    the phase it was trained on. *)
+
+val offdiag_max_mpki_x100 : t -> int
+(** Worst off-diagonal cell over the N phase-layout rows: a layout
+    replaying a phase it was {e not} trained on.  A drifting workload shows
+    [diag_max < offdiag_max]. *)
+
+(** {1 Artifact} *)
+
+val artifact_schema : string
+(** ["olayout-drift/v1"]. *)
+
+val to_json : scale:string -> t -> Olayout_telemetry.Json.t
+(** The [olayout-drift/v1] document.  All numeric leaves nest under the
+    ["drift"] head so {!Olayout_regress.Diff} classifies every metric path
+    as deterministic; the document carries no timestamp, argv or engine
+    name. *)
+
+val write_artifact : path:string -> scale:string -> t -> unit
+
+(** {1 Publication} *)
+
+val publish_gauges : t -> unit
+(** Set the [drift.*] gauges in the global telemetry registry (windows,
+    phases, summary permilles and staleness extremes) so the BENCH
+    artifact and the baseline gate carry them. *)
+
+val publish_timeline : t -> unit
+(** While {!Olayout_telemetry.Timeline} is enabled, mirror the divergence
+    series as [Sample]-kind timeline series on the instruction clock
+    ([drift.l1_vs_prev_permille], [drift.l1_vs_train_permille],
+    [drift.jaccard_vs_train_permille]) — they reach the TIMELINE artifact
+    and the Chrome-trace counter tracks. *)
+
+(** {1 Console rendering} *)
+
+val pp_series : Format.formatter -> t -> unit
+(** Divergence series as labelled sparklines (higher = more drift). *)
+
+val pp_heatmap : Format.formatter -> t -> unit
+(** Staleness matrix as a shaded mpki heatmap; [*] marks diagonal cells. *)
+
+val pp : Format.formatter -> t -> unit
+(** {!pp_series} followed by {!pp_heatmap}. *)

@@ -166,6 +166,17 @@ let experiments : experiment list =
       e_streams = base_all;
       e_run = (fun _ ctx -> Fig_temporal.tables (Fig_temporal.run ctx));
     };
+    {
+      e_id = "drift";
+      e_desc = "extension: workload drift observatory";
+      (* Own scheduled server runs (mix-shift streams must never enter the
+         shared trace cache) — live, and no cached streams consumed. *)
+      e_live = true;
+      e_streams = [];
+      e_run =
+        (fun _ ctx ->
+          Drift.tables (Drift.run ctx (Diagnose.preset_of_figure "fig4")));
+    };
   ]
 
 let experiment_ids = List.map (fun e -> e.e_id) experiments

@@ -18,6 +18,7 @@ type render_spec = {
 type result = {
   committed : int;
   aborted : int;
+  scans : int;
   app_instrs : int;
   kernel_instrs : int;
   context_switches : int;
@@ -50,8 +51,9 @@ type tl = {
 }
 
 let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
-    ?(tick_instrs = 200_000) ?db_config ?(renders = []) ?(app_sinks = [])
-    ?(kernel_sinks = []) ?on_data ?on_switch ?(timeline = false) () =
+    ?(tick_instrs = 200_000) ?db_config ?schedule ?(renders = [])
+    ?(app_sinks = []) ?(kernel_sinks = []) ?on_data ?on_switch
+    ?(timeline = false) () =
   let rng = Rng.create seed in
   let app_walk = Walk.create ~prog:(Binary.prog app) ~rng:(Rng.split rng) in
   let kernel_walk = Walk.create ~prog:(Binary.prog kernel) ~rng:(Rng.split rng) in
@@ -185,10 +187,50 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
 
   (* --- fiber scheduler --- *)
   let committed = ref 0 and aborted = ref 0 in
+  let scans = ref 0 in
   let lock_waits = ref 0 and switches = ref 0 in
   let issued = ref 0 in
   let total = warmup + txns in
   let input_rng = Rng.split rng in
+  let cfg = Tpcb.config db in
+  (* Skewed variant of Tpcb.gen_input: [hot_pct]% of tellers come from the
+     hot branch; account locality and the delta draw follow the stock
+     generator. *)
+  let gen_skewed ~hot_branch ~hot_pct =
+    let teller_branch =
+      if Rng.int input_rng 100 < hot_pct then hot_branch mod cfg.Tpcb.branches
+      else Rng.int input_rng cfg.Tpcb.branches
+    in
+    let tid =
+      (teller_branch * cfg.Tpcb.tellers_per_branch)
+      + Rng.int input_rng cfg.Tpcb.tellers_per_branch
+    in
+    let bid_of_account =
+      if Rng.bool input_rng 0.85 || cfg.Tpcb.branches = 1 then teller_branch
+      else begin
+        let other = Rng.int input_rng (cfg.Tpcb.branches - 1) in
+        if other >= teller_branch then other + 1 else other
+      end
+    in
+    let aid =
+      (bid_of_account * cfg.Tpcb.accounts_per_branch)
+      + Rng.int input_rng cfg.Tpcb.accounts_per_branch
+    in
+    let delta = Rng.int input_rng 1_999_999 - 999_999 in
+    { Tpcb.aid; tid; bid = teller_branch; delta }
+  in
+  (* DSS-style read-only scan: probe [rows] balances of one branch through
+     the B-tree/heap/buffer paths (no locks, no log, no updates).  Strided
+     so successive probes touch different tree paths and heap pages. *)
+  let run_scan ~rows =
+    let b = Rng.int input_rng cfg.Tpcb.branches in
+    let start = Rng.int input_rng cfg.Tpcb.accounts_per_branch in
+    let stride = max 1 (cfg.Tpcb.accounts_per_branch / rows) in
+    for k = 0 to rows - 1 do
+      let slot = (start + (k * stride)) mod cfg.Tpcb.accounts_per_branch in
+      ignore (Tpcb.account_balance db ((b * cfg.Tpcb.accounts_per_branch) + slot))
+    done
+  in
   let fiber_body () =
     let continue_ = ref true in
     while !continue_ do
@@ -198,25 +240,43 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
         let mine = !issued in
         if mine = warmup + 1 then measuring := true;
         let measured_txn = mine > warmup in
-        let input = Tpcb.gen_input db input_rng in
-        let wait _key =
-          if !measuring then begin
-            incr lock_waits;
-            tl_event (fun s -> s.t_waits)
-          end;
-          Effect.perform Yield
+        (* The warmup always runs the plain TPC-B mix: a schedule shapes
+           the measured window only, so the buffer pool and B-trees warm
+           identically with and without one. *)
+        let phase =
+          match schedule with
+          | Some s when measured_txn -> Schedule.assign s ~txns (mine - warmup - 1)
+          | _ -> Schedule.Tpcb
         in
-        (match Tpcb.run db ~wait input with
-        | `Committed ->
-            if measured_txn then begin
-              incr committed;
-              tl_event (fun s -> s.t_commits)
-            end
-        | `Aborted ->
-            if measured_txn then begin
-              incr aborted;
-              tl_event (fun s -> s.t_aborts)
-            end);
+        (match phase with
+        | Schedule.Scan { rows } ->
+            run_scan ~rows;
+            if measured_txn then incr scans
+        | Schedule.Tpcb | Schedule.Tpcb_skewed _ ->
+            let input =
+              match phase with
+              | Schedule.Tpcb_skewed { hot_branch; hot_pct } ->
+                  gen_skewed ~hot_branch ~hot_pct
+              | _ -> Tpcb.gen_input db input_rng
+            in
+            let wait _key =
+              if !measuring then begin
+                incr lock_waits;
+                tl_event (fun s -> s.t_waits)
+              end;
+              Effect.perform Yield
+            in
+            (match Tpcb.run db ~wait input with
+            | `Committed ->
+                if measured_txn then begin
+                  incr committed;
+                  tl_event (fun s -> s.t_commits)
+                end
+            | `Aborted ->
+                if measured_txn then begin
+                  incr aborted;
+                  tl_event (fun s -> s.t_aborts)
+                end));
         (* Server process blocks awaiting the next client request. *)
         Effect.perform Yield
       end
@@ -262,6 +322,7 @@ let run ~app ~kernel ~txns ?(seed = 42) ?(processes = 8) ?(warmup = 50)
   {
     committed = !committed;
     aborted = !aborted;
+    scans = !scans;
     app_instrs = Walk.instrs_executed app_walk;
     kernel_instrs = Walk.instrs_executed kernel_walk;
     context_switches = !switches;

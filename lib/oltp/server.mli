@@ -28,6 +28,7 @@ type render_spec = {
 type result = {
   committed : int;
   aborted : int;
+  scans : int;  (** read-only scan queries executed by a {!Schedule} *)
   app_instrs : int;  (** nominal app instructions walked (source encoding) *)
   kernel_instrs : int;
   context_switches : int;
@@ -45,6 +46,7 @@ val run :
   ?warmup:int ->
   ?tick_instrs:int ->
   ?db_config:Olayout_db.Tpcb.config ->
+  ?schedule:Schedule.t ->
   ?renders:render_spec list ->
   ?app_sinks:Walk.sink list ->
   ?kernel_sinks:Walk.sink list ->
@@ -55,7 +57,12 @@ val run :
   result
 (** Execute [txns] measured transactions (after [warmup] unmeasured ones,
     default 50).  [tick_instrs] is the clock-interrupt period in nominal
-    instructions (default 200k ~ 5 kHz at 1 GHz).  [app_sinks] /
+    instructions (default 200k ~ 5 kHz at 1 GHz).  [schedule] shifts the
+    transaction mix mid-run (see {!Schedule}); it shapes the measured
+    window only — warmup transactions always run the plain TPC-B mix — and
+    preserves determinism: the block path of a scheduled run depends only
+    on (binaries, seed, txns, processes, db config, schedule), never on
+    placements.  [app_sinks] /
     [kernel_sinks] observe block events (profilers, samplers);
     [renders] observe address runs; [on_data] observes data references;
     [on_switch] observes every dispatch of a different server process (for

@@ -19,6 +19,7 @@ let known_schemas =
     "olayout-diag/v1";
     "olayout-timeline/v1";
     "olayout-explain/v1";
+    "olayout-drift/v1";
   ]
 
 type t = {

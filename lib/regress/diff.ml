@@ -82,6 +82,10 @@ let classify path =
   (* Layout scorecards (olayout-explain/v1): provenance decisions plus
      replayed-trace miss attribution, byte-identical across legs. *)
   | "explain" -> Deterministic
+  (* Drift observatory (olayout-drift/v1): windowed divergence permilles
+     and staleness-matrix miss counts — pure simulation state, identical
+     at any -j and under either sweep engine. *)
+  | "drift" -> Deterministic
   | "figures" ->
       if ends_with ~suffix:"seconds" path || ends_with ~suffix:"mruns_per_s" path
       then Timing
@@ -255,7 +259,17 @@ let to_json ?fidelity ?(gated = false) ?(gate_failed = false) t =
              ("timing_exceeds_tolerance", Json.Int (count t Exceeds_tolerance));
              ("added", Json.Int (count t Added));
              ("removed", Json.Int (count t Removed));
-             ("ignored", Json.Int t.ignored);
+             (* Both the dropped-path count and the prefixes that did the
+                dropping: a COMPARE file must say what it chose not to
+                compare. *)
+             ( "ignored",
+               Json.Object
+                 [
+                   ("count", Json.Int t.ignored);
+                   ( "prefixes",
+                     Json.Array
+                       (List.map (fun p -> Json.String p) t.ignored_prefixes) );
+                 ] );
            ] );
        ( "gate",
          Json.Object

@@ -155,3 +155,9 @@ val events : unit -> Json.t list
 
 val pp_summary : Format.formatter -> unit -> unit
 (** Console sparkline summary of every non-empty series. *)
+
+val spark : kind -> int array -> string
+(** Render per-window values as a UTF-8 sparkline (at most 60 glyphs;
+    [Delta] buckets sum their windows, [Sample] buckets keep the peak).
+    Exposed so other windowed reports (drift observatory) render
+    consistently with {!pp_summary}. *)

@@ -22,6 +22,7 @@ let () =
       Test_telemetry.suite;
       Test_timeline.suite;
       Test_explain.suite;
+      Test_drift.suite;
       Test_par.suite;
       Test_regress.suite;
       Test_properties.suite;

@@ -277,6 +277,19 @@ let test_diff_ignore_prefixes () =
     "prefixes recorded" (Some "counters.cachesim.")
     (match Json.member "ignore_prefixes" doc with
     | Some (Json.Array [ Json.String p ]) -> Some p
+    | _ -> None);
+  (* summary.ignored pairs the drop count with every prefix that caused
+     it, so a compare document is self-describing about what it skipped *)
+  let ignored =
+    Option.get (Option.bind (Json.member "summary" doc) (Json.member "ignored"))
+  in
+  Alcotest.(check (option int))
+    "summary.ignored.count matches the record" (Some d.Diff.ignored)
+    (Option.bind (Json.member "count" ignored) Json.get_int);
+  Alcotest.(check (option string))
+    "summary.ignored.prefixes echoes the flags" (Some "counters.cachesim.")
+    (match Json.member "prefixes" ignored with
+    | Some (Json.Array [ Json.String p ]) -> Some p
     | _ -> None)
 
 let test_diff_tolerance () =

@@ -238,6 +238,51 @@ let test_sampler_windows () =
     (Array.fold_left ( + ) 0 (Sampler.window_counts sampler));
   Alcotest.(check bool) "samples were taken" true (Sampler.samples_taken sampler > 0)
 
+(* The sampler freezes the global window width at creation, so a
+   --timeline-window override must shape its windowed view: counts stay
+   conserved and the trailing partial window is materialised. *)
+let test_sampler_window_override () =
+  let module Prog = Olayout_ir.Prog in
+  let module Proc = Olayout_ir.Proc in
+  let module Block = Olayout_ir.Block in
+  let prog = Helpers.straight_prog 40 in
+  let pass_instrs =
+    Array.fold_left
+      (fun acc b -> acc + max 1 (Block.source_instrs b))
+      0 (Prog.proc prog 0).Proc.blocks
+  in
+  let total = 25 * pass_instrs in
+  with_timeline ~window:600 (fun () ->
+      let sampler = Sampler.create prog ~period:7 in
+      for _ = 1 to 25 do
+        for b = 0 to 39 do
+          Sampler.sink sampler ~proc:0 ~block:b ~arm:0
+        done
+      done;
+      Alcotest.(check int) "override window width captured" 600
+        (Sampler.window_instrs sampler);
+      (* Samples land at 7,14,..: one per full period in the run. *)
+      Alcotest.(check int) "samples land on the period grid" (total / 7)
+        (Sampler.samples_taken sampler);
+      let counts = Sampler.window_counts sampler in
+      (* The last sample's window indexes the array, so the trailing
+         partial window is present even though the run ends inside it. *)
+      Alcotest.(check int) "last partial window included"
+        ((total / 7 * 7 / 600) + 1)
+        (Array.length counts);
+      Alcotest.(check int) "windowed counts conserve samples under override"
+        (Sampler.samples_taken sampler)
+        (Array.fold_left ( + ) 0 counts);
+      Alcotest.(check bool) "every full window saw samples" true
+        (Array.for_all (fun c -> c > 0) counts));
+  (* Back under the restored default, a fresh sampler picks up the stock
+     width again - the override must not leak across with_timeline. *)
+  let fresh = Sampler.create prog ~period:7 in
+  Alcotest.(check int) "default restored after override" (Timeline.window ())
+    (Sampler.window_instrs fresh);
+  Alcotest.(check int) "restored default is stock" 65536
+    (Sampler.window_instrs fresh)
+
 let suite =
   ( "timeline",
     [
@@ -248,4 +293,6 @@ let suite =
       Alcotest.test_case "cross-engine equality" `Quick test_cross_engine;
       Alcotest.test_case "artifact + events shape" `Quick test_artifact;
       Alcotest.test_case "sampler windowed view" `Quick test_sampler_windows;
+      Alcotest.test_case "sampler window override" `Quick
+        test_sampler_window_override;
     ] )
