@@ -21,7 +21,8 @@
      dune exec bench/main.exe -- --timeline-out FILE   # windowed metric series artifact
      dune exec bench/main.exe -- --timeline-window N   # override the window width (instrs)
      dune exec bench/main.exe -- --explain-out FILE    # per-procedure layout scorecards
-     dune exec bench/main.exe -- --drift-out FILE      # workload-drift observatory artifact *)
+     dune exec bench/main.exe -- --drift-out FILE      # workload-drift observatory artifact
+     dune exec bench/main.exe -- --relayout-out FILE   # closed-loop re-layout cadence sweep *)
 
 module Context = Olayout_harness.Context
 module Report = Olayout_harness.Report
@@ -62,6 +63,7 @@ type options = {
   timeline_window : int option;
   explain_out : string option;
   drift_out : string option;
+  relayout_out : string option;
 }
 
 let flag_summary =
@@ -70,7 +72,7 @@ let flag_summary =
    --gate, --tolerance FRACTION, --compare-out FILE, --chrome-trace FILE, \
    -j/--jobs N|auto, --retain-mb MB, --bench-json-out FILE, \
    --engine icache|stackdist, --timeline-out FILE, --timeline-window N, \
-   --explain-out FILE, --drift-out FILE"
+   --explain-out FILE, --drift-out FILE, --relayout-out FILE"
 
 let usage_error fmt =
   Printf.ksprintf
@@ -92,6 +94,7 @@ let parse_args () =
   let engine = ref `Stackdist in
   let timeline_out = ref None and timeline_window = ref None in
   let explain_out = ref None and drift_out = ref None in
+  let relayout_out = ref None in
   let missing opt expected =
     usage_error "option %s requires an argument: %s" opt expected
   in
@@ -142,6 +145,10 @@ let parse_args () =
         missing "--timeline-window" "a positive window width in instructions"
     | [ "--explain-out" ] -> missing "--explain-out" "a JSON output path"
     | [ "--drift-out" ] -> missing "--drift-out" "a JSON output path"
+    | [ "--relayout-out" ] -> missing "--relayout-out" "a JSON output path"
+    | "--relayout-out" :: path :: rest ->
+        relayout_out := Some path;
+        go rest
     | "--explain-out" :: path :: rest ->
         explain_out := Some path;
         go rest
@@ -241,6 +248,7 @@ let parse_args () =
     timeline_window = !timeline_window;
     explain_out = !explain_out;
     drift_out = !drift_out;
+    relayout_out = !relayout_out;
   }
 
 (* --- Bechamel microbenchmarks of the layout passes --- *)
@@ -496,6 +504,21 @@ let () =
       Drift.write_artifact ~path ~scale:scale_name r;
       Format.printf "drift artifact written to %s@." path)
     opts.drift_out;
+  (* The RELAYOUT artifact: reuse the report's relayout-experiment result
+     when it ran, otherwise run the cadence sweep now.  Emitted before
+     --diagnose for the same cross-leg freeze reason. *)
+  Option.iter
+    (fun path ->
+      let module Relayout = Olayout_harness.Relayout in
+      let module Diagnose = Olayout_harness.Diagnose in
+      let r =
+        match Relayout.last () with
+        | Some r -> r
+        | None -> Relayout.run ctx (Diagnose.preset_of_figure "fig4")
+      in
+      Relayout.write_artifact ~path ~scale:scale_name r;
+      Format.printf "relayout artifact written to %s@." path)
+    opts.relayout_out;
   if opts.diagnose then begin
     (* The DIAG artifact: diagnose the baseline layout at the headline
        geometry.  The icache-miss counter delta around the measurement is

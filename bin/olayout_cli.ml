@@ -8,6 +8,7 @@
      timeline     - windowed metric series over the simulated instruction stream
      explain      - per-procedure layout scorecards (decisions, moves, regret)
      drift        - workload-drift observatory: divergence series + staleness matrix
+     relayout     - closed-loop incremental re-layout: miss rate vs cadence
      compare      - diff two bench/diag artifacts, gate on deterministic drift
      chrome-trace - telemetry JSONL -> Perfetto-loadable trace-event JSON
 
@@ -668,6 +669,127 @@ let drift_cmd =
       const drift $ seed_arg $ quick_arg $ figure_arg $ opt_combo_arg
       $ windows_arg $ top_arg $ out_arg)
 
+(* --- relayout --- *)
+
+(* --cadences takes one raw comma-separated string so empty, zero, negative
+   and non-numeric entries all get the same rejection and the usage exit
+   code 2 (mirrors drift's --windows validation); --slots likewise. *)
+let relayout seed quick figure combo cadences slots out =
+  let module Relayout = Olayout_harness.Relayout in
+  let cadences =
+    match cadences with
+    | None -> Ok Relayout.default_cadences
+    | Some s -> (
+        let parsed =
+          List.map int_of_string_opt (String.split_on_char ',' s)
+        in
+        match
+          List.for_all (function Some c -> c >= 1 | None -> false) parsed
+        with
+        | true -> Ok (List.filter_map Fun.id parsed)
+        | false -> Error s)
+  in
+  let slots =
+    match slots with
+    | None -> Ok Relayout.default_slots
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v when v >= 2 -> Ok v
+        | Some _ | None -> Error s)
+  in
+  match (cadences, slots) with
+  | Error s, _ ->
+      Printf.eprintf
+        "olayout: --cadences expects comma-separated window counts >= 1, got \
+         %S\n"
+        s;
+      2
+  | _, Error s ->
+      Printf.eprintf
+        "olayout: --slots expects at least 2 schedule slots, got %S\n" s;
+      2
+  | Ok cadences, Ok slots -> (
+      match Olayout_harness.Diagnose.preset_of_figure figure with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "olayout: %s\n" msg;
+          1
+      | preset -> (
+          let scale = if quick then Context.Quick else Context.Full in
+          let ctx = Context.create ~scale ~seed () in
+          match Relayout.run ~combo ~cadences ~slots ctx preset with
+          | exception Invalid_argument msg ->
+              Printf.eprintf "olayout: %s\n" msg;
+              1
+          | r ->
+              Relayout.Closedloop.pp Format.std_formatter r;
+              Option.iter
+                (fun path ->
+                  Relayout.write_artifact ~path
+                    ~scale:(if quick then "quick" else "full")
+                    r;
+                  Format.printf "relayout artifact written to %s@." path)
+                out;
+              0))
+
+let relayout_cmd =
+  let figure_arg =
+    Arg.(
+      value & opt string "fig4"
+      & info [ "figure" ] ~docv:"ID"
+          ~doc:
+            (Printf.sprintf
+               "Cache geometry the cadence sweep replays under (%s)."
+               (String.concat ", "
+                  (List.map
+                     (fun p -> p.Olayout_harness.Diagnose.fig)
+                     Olayout_harness.Diagnose.presets))))
+  in
+  let cadences_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cadences" ] ~docv:"N,N,..."
+          ~doc:
+            "Re-layout cadences to sweep, in windows between ticks (default \
+             1,2,4,8); a static never-re-layout row is always included.")
+  in
+  let slots_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slots" ] ~docv:"N"
+          ~doc:
+            "Mix-shift schedule slots the replayed run rotates through \
+             (default 4, at least 2).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the olayout-relayout/v1 artifact to $(docv).")
+  in
+  let opt_combo_arg =
+    Arg.(
+      value & opt combo_conv Spike.All
+      & info [ "combo" ] ~docv:"COMBO"
+          ~doc:
+            "Layout algorithm the loop re-runs per tick (any combo except \
+             $(b,base)).")
+  in
+  Cmd.v
+    (Cmd.info "relayout"
+       ~doc:
+         "Closed-loop incremental re-layout: replay a drifting transaction \
+          mix under a layout that is rebuilt from the profile delta every N \
+          windows, charting miss rate against re-layout cadence (the cache \
+          persists across ticks, so re-layout disruption counts) and \
+          reporting the break-even cadence and the incremental engine's \
+          work savings.")
+    Term.(
+      const relayout $ seed_arg $ quick_arg $ figure_arg $ opt_combo_arg
+      $ cadences_arg $ slots_arg $ out_arg)
+
 (* --- report --- *)
 
 let report seed quick only trace_stats telemetry telemetry_out jobs retain_mb engine =
@@ -966,6 +1088,7 @@ let overview =
     ("timeline", "windowed metric series over the simulated instruction clock");
     ("explain", "per-procedure layout scorecards (decisions, moves, regret)");
     ("drift", "workload-drift observatory: divergence series + staleness matrix");
+    ("relayout", "closed-loop incremental re-layout: miss rate vs cadence");
     ("report", "regenerate the paper's figures");
     ("compare", "diff two run artifacts, gate on deterministic drift");
     ("chrome-trace", "telemetry JSONL -> Perfetto-loadable trace-event JSON");
@@ -1003,6 +1126,6 @@ let () =
        (Cmd.group (Cmd.info "olayout" ~doc)
           [
             inspect_cmd; profile_cmd; disasm_cmd; optimize_cmd; simulate_cmd; trace_cmd;
-            diagnose_cmd; timeline_cmd; explain_cmd; drift_cmd; report_cmd; compare_cmd;
-            chrome_trace_cmd;
+            diagnose_cmd; timeline_cmd; explain_cmd; drift_cmd; relayout_cmd;
+            report_cmd; compare_cmd; chrome_trace_cmd;
           ]))

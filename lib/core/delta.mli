@@ -1,0 +1,45 @@
+(** Profile deltas: the dirty set between two weighted profiles.
+
+    The incremental re-layout engine's first half (ROADMAP item 4): diff
+    two profiles of the same program into the set of procedures whose
+    block/arm weight vectors changed.  The granularity matches what the
+    per-procedure passes consume — {!Chaining.chain_proc} reads only the
+    procedure's own profile rows, so a clean procedure's chains (and the
+    splitting segments derived from them) are reusable bit-for-bit, which
+    is the invariant {!Incremental} builds its equivalence guarantee on. *)
+
+open Olayout_ir
+
+type t
+
+val diff : Olayout_profile.Profile.t -> Olayout_profile.Profile.t -> t
+(** [diff old_profile new_profile].
+    @raise Invalid_argument when the profiles describe different
+    programs. *)
+
+val prog : t -> Prog.t
+val n_procs : t -> int
+
+val is_dirty : t -> int -> bool
+(** Did the procedure's weight vector change? *)
+
+val n_dirty : t -> int
+val is_empty : t -> bool
+
+val dirty_procs : t -> int list
+(** Dirty procedure ids, ascending. *)
+
+val new_hot : t -> int
+(** Dirty procedures whose total block count went zero to nonzero (newly
+    hot code the old layout has never seen). *)
+
+val gone_cold : t -> int
+(** Dirty procedures whose total block count went nonzero to zero. *)
+
+val blocks_changed : t -> int
+(** Blocks whose execution count differs. *)
+
+val arms_changed : t -> int
+(** Terminator arms whose count differs. *)
+
+val pp : Format.formatter -> t -> unit

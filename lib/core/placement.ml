@@ -101,6 +101,17 @@ let program_instrs t =
 
 let segments t = t.segments
 
+(* Byte-for-byte layout identity: every address, encoded size, executed
+   terminator cost and the segment order itself.  The incremental engine's
+   equivalence guarantee is asserted through this. *)
+let equal a b =
+  a.text_bytes = b.text_bytes
+  && a.addr = b.addr
+  && a.static_sz = b.static_sz
+  && a.extra0 = b.extra0
+  && a.extra1 = b.extra1
+  && a.segments = b.segments
+
 let long_branches t ?(max_displacement = 0x10_0000) () =
   let count = ref 0 in
   let far pc target = abs (target - pc) > max_displacement in

@@ -60,6 +60,12 @@ val program_instrs : t -> int
 val segments : t -> Segment.t list
 (** The segment order used to build this placement. *)
 
+val equal : t -> t -> bool
+(** Byte-for-byte layout identity: same block addresses, encoded sizes,
+    executed terminator costs, text extent and segment order.  Used to
+    assert {!Incremental}'s equivalence guarantee (incremental re-layout
+    produces exactly the from-scratch placement). *)
+
 val iter_placed : t -> (proc:int -> block:int -> addr:int -> instrs:int -> unit) -> unit
 (** Iterate blocks in address order with their encoded sizes. *)
 

@@ -1,6 +1,7 @@
 module Json = Olayout_telemetry.Json
 module Telemetry = Olayout_telemetry.Telemetry
 module Timeline = Olayout_telemetry.Timeline
+module Incremental = Olayout_core.Incremental
 
 (* The drift observatory's result record: per-window divergence series and
    the layout-staleness matrix, plus rendering and publication.  Everything
@@ -30,6 +31,9 @@ type t = {
   o_phase_events : int array;  (* profiled block events per phase *)
   o_rows : string array;  (* length N+1: layout sources (phases + train) *)
   o_cells : cell array array;  (* (N+1) rows x N replayed phases *)
+  o_work : Incremental.work;
+      (* layout-building work of the matrix rows: 1 full build + N
+         incremental deltas vs the from-scratch counterfactual *)
 }
 
 let phases t = Array.length t.o_phase_names
@@ -67,6 +71,25 @@ let offdiag_max_mpki_x100 t =
     done
   done;
   !acc
+
+let work_ratio_x100 (w : Incremental.work) =
+  if w.Incremental.w_invocations <= 0 then 0
+  else w.Incremental.w_scratch_invocations * 100 / w.Incremental.w_invocations
+
+(* Shared with Closedloop: the relayout.* work delta as a JSON object. *)
+let work_json (w : Incremental.work) =
+  Json.Object
+    [
+      ("full_builds", Json.Int w.Incremental.w_full_builds);
+      ("updates", Json.Int w.Incremental.w_updates);
+      ("procs_replaced", Json.Int w.Incremental.w_procs_replaced);
+      ("procs_reused", Json.Int w.Incremental.w_procs_reused);
+      ("passes_run", Json.Int w.Incremental.w_passes_run);
+      ("passes_skipped", Json.Int w.Incremental.w_passes_skipped);
+      ("pass_invocations", Json.Int w.Incremental.w_invocations);
+      ("scratch_pass_invocations", Json.Int w.Incremental.w_scratch_invocations);
+      ("work_ratio_x100", Json.Int (work_ratio_x100 w));
+    ]
 
 (* --- artifact ---------------------------------------------------------- *)
 
@@ -135,6 +158,7 @@ let to_json ~scale t =
                                );
                              ])) );
                 ] );
+            ("relayout", work_json t.o_work);
             ( "summary",
               Json.Object
                 [
@@ -170,7 +194,16 @@ let publish_gauges t =
   set "drift.min_jaccard_vs_train_permille" (min_jaccard_vs_train t);
   set "drift.max_rank_churn_permille" (max_churn_vs_prev t);
   set "drift.staleness_diag_max_mpki_x100" (diag_max_mpki_x100 t);
-  set "drift.staleness_offdiag_max_mpki_x100" (offdiag_max_mpki_x100 t)
+  set "drift.staleness_offdiag_max_mpki_x100" (offdiag_max_mpki_x100 t);
+  (* The staleness matrix's own layout-building economics: its N+1 rows
+     cost 1 full build + N incremental deltas instead of N+1 pipelines. *)
+  set "drift.relayout_procs_replaced" t.o_work.Incremental.w_procs_replaced;
+  set "drift.relayout_procs_reused" t.o_work.Incremental.w_procs_reused;
+  set "drift.relayout_passes_skipped" t.o_work.Incremental.w_passes_skipped;
+  set "drift.relayout_pass_invocations" t.o_work.Incremental.w_invocations;
+  set "drift.relayout_scratch_invocations"
+    t.o_work.Incremental.w_scratch_invocations;
+  set "drift.relayout_work_ratio_x100" (work_ratio_x100 t.o_work)
 
 (* While the timeline subsystem is enabled, mirror the divergence series
    as Sample series on the instruction clock: they land in the TIMELINE
@@ -194,11 +227,7 @@ let publish_timeline t =
 
 (* --- console rendering ------------------------------------------------- *)
 
-let shade_glyphs = [| " "; "\xe2\x96\x91"; "\xe2\x96\x92"; "\xe2\x96\x93"; "\xe2\x96\x88" |]
-
-let shade ~vmax v =
-  if vmax <= 0 then shade_glyphs.(0)
-  else shade_glyphs.(min 4 (v * Array.length shade_glyphs / (vmax + 1)))
+let shade = Olayout_util.Console.shade
 
 let pp_heatmap ppf t =
   let n = phases t in

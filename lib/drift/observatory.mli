@@ -29,6 +29,9 @@ type t = {
   o_phase_events : int array;  (** profiled block events per phase *)
   o_rows : string array;  (** length N+1: layout sources (phases + train) *)
   o_cells : cell array array;  (** (N+1) rows x N replayed phases *)
+  o_work : Olayout_core.Incremental.work;
+      (** layout-building work of the matrix rows (1 full build + N
+          incremental deltas) against the from-scratch counterfactual *)
 }
 
 val phases : t -> int
@@ -55,6 +58,15 @@ val offdiag_max_mpki_x100 : t -> int
 (** Worst off-diagonal cell over the N phase-layout rows: a layout
     replaying a phase it was {e not} trained on.  A drifting workload shows
     [diag_max < offdiag_max]. *)
+
+val work_ratio_x100 : Olayout_core.Incremental.work -> int
+(** [scratch_pass_invocations * 100 / pass_invocations] — how many times
+    cheaper the incremental builds were than from-scratch ones (200 = 2x);
+    0 when no work was done. *)
+
+val work_json : Olayout_core.Incremental.work -> Olayout_telemetry.Json.t
+(** The work delta as an all-integer JSON object (shared by the drift and
+    relayout artifacts). *)
 
 (** {1 Artifact} *)
 

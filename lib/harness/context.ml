@@ -10,11 +10,19 @@ module Telemetry = Olayout_telemetry.Telemetry
 type scale = Quick | Full
 
 (* A measurement execution's run stream is a deterministic function of the
-   app placement, the shared kernel placement and the transaction count
-   (the block path never depends on placements; see Server).  Traces are
-   therefore cached under that key and replayed for every later figure that
-   asks for the same stream. *)
-type trace_key = { combo : Spike.combo; kernel : int; key_txns : int }
+   app placement, the shared kernel placement, the transaction count and
+   the workload schedule (the block path never depends on placements; see
+   Server).  Traces are cached under that key and replayed for every later
+   figure that asks for the same stream.  [key_schedule] is the schedule's
+   canonical signature ("" for unscheduled runs), so the drift and relayout
+   drivers' mix-shift streams share the cache without poisoning the
+   unscheduled figures' entries. *)
+type trace_key = {
+  combo : Spike.combo;
+  kernel : int;
+  key_txns : int;
+  key_schedule : string;
+}
 
 type trace_stats = {
   live_executions : int;
@@ -54,7 +62,7 @@ type t = {
   kernel_base : Placement.t;
   mutable kernel_optimized : Placement.t option;
   mutable traces : (trace_key * Trace.t) list;
-  mutable results : ((int * int) * Server.result) list;
+  mutable results : ((int * int * string) * Server.result) list;
 }
 
 let train_txns = function Quick -> 150 | Full -> 2000
@@ -175,10 +183,16 @@ let replay_into items =
       in
       Telemetry.add_gauge g_replay_seconds seconds
 
-let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~renders () =
+let measure_raw t ?txns ?kernel_placement ?schedule ?on_data ?app_sinks ?on_switch
+    ~renders () =
   let txns = match txns with Some n -> n | None -> measured_txns t in
   let kernel_placement =
     match kernel_placement with Some p -> p | None -> t.kernel_base
+  in
+  let key_schedule =
+    match schedule with
+    | None -> ""
+    | Some s -> Olayout_oltp.Schedule.signature s
   in
   (* Sinks observe the walk itself, not the rendered runs: their presence
      forces a live execution (replay has no block events to offer). *)
@@ -188,7 +202,7 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
     match kid with
     | Some kernel when txns = measured_txns t -> (
         match combo_of_placement t p with
-        | Some combo -> Some { combo; kernel; key_txns = txns }
+        | Some combo -> Some { combo; kernel; key_txns = txns; key_schedule }
         | None -> None)
     | _ -> None
   in
@@ -222,7 +236,7 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
   in
   let cached_result =
     match kid with
-    | Some k -> List.assoc_opt (k, txns) t.results
+    | Some k -> List.assoc_opt (k, txns, key_schedule) t.results
     | None -> None
   in
   match (live, needs_walk, cached_result) with
@@ -266,11 +280,16 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
            this figure must be scheduled serially (it records or observes \
            the walk)";
       let result =
+        (* Scheduled walks keep the oltp.* timeline series quiet: those
+           series describe the unscheduled measurement stream, and a
+           mix-shift walk writing into the same windows would corrupt the
+           TIMELINE artifact (the reason the drift driver used to bypass
+           this path entirely). *)
         Telemetry.span "context.live_execution" (fun () ->
             Server.run ~app:(Workload.app t.workload)
-              ~kernel:(Workload.kernel t.workload) ~txns ~seed:1009
+              ~kernel:(Workload.kernel t.workload) ~txns ~seed:1009 ?schedule
               ~renders:render_specs ?on_data ?app_sinks ?on_switch
-              ~timeline:true ())
+              ~timeline:(schedule = None) ())
       in
       Telemetry.incr c_live_executions;
       List.iter
@@ -280,20 +299,22 @@ let measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~render
         !recorded;
       set_bytes_gauges t;
       (match kid with
-      | Some k when not (List.mem_assoc (k, txns) t.results) ->
-          t.results <- ((k, txns), result) :: t.results
+      | Some k when not (List.mem_assoc (k, txns, key_schedule) t.results) ->
+          t.results <- ((k, txns, key_schedule), result) :: t.results
       | _ -> ());
       replay_into replays;
       result
 
-let measure t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch ~renders () =
-  measure_raw t ?txns ?kernel_placement ?on_data ?app_sinks ?on_switch
+let measure t ?txns ?kernel_placement ?schedule ?on_data ?app_sinks ?on_switch
+    ~renders () =
+  measure_raw t ?txns ?kernel_placement ?schedule ?on_data ?app_sinks ?on_switch
     ~renders:(List.map (fun (combo, emit) -> (placement t combo, emit)) renders)
     ()
 
 (* --- battery replay over the trace cache ------------------------------ *)
 
-let base_key t combo = { combo; kernel = 0; key_txns = measured_txns t }
+let base_key t combo =
+  { combo; kernel = 0; key_txns = measured_txns t; key_schedule = "" }
 
 let traces_for t combos =
   let missing =

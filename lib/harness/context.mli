@@ -84,6 +84,7 @@ val measure :
   t ->
   ?txns:int ->
   ?kernel_placement:Placement.t ->
+  ?schedule:Olayout_oltp.Schedule.t ->
   ?on_data:(int -> unit) ->
   ?app_sinks:Olayout_exec.Walk.sink list ->
   ?on_switch:(int -> unit) ->
@@ -98,12 +99,19 @@ val measure :
     uncached streams are simulated live and recorded for later figures.
     Passing [on_data], [app_sinks] or [on_switch] forces a live execution
     (those observe the walk, which a replay does not perform), but cached
-    render streams still replay and new ones are still recorded. *)
+    render streams still replay and new ones are still recorded.
+
+    [schedule] runs the workload under a mid-run mix-shift (the drift and
+    relayout drivers); the schedule's signature is part of the trace-cache
+    key, so scheduled and unscheduled streams of the same combination
+    coexist in the cache.  Scheduled walks do not feed the oltp.* timeline
+    series (those describe the unscheduled measurement stream). *)
 
 val measure_raw :
   t ->
   ?txns:int ->
   ?kernel_placement:Placement.t ->
+  ?schedule:Olayout_oltp.Schedule.t ->
   ?on_data:(int -> unit) ->
   ?app_sinks:Olayout_exec.Walk.sink list ->
   ?on_switch:(int -> unit) ->

@@ -1,4 +1,5 @@
 module Spike = Olayout_core.Spike
+module Incremental = Olayout_core.Incremental
 module Profile = Olayout_profile.Profile
 module Windowed = Olayout_profile.Windowed
 module Divergence = Olayout_drift.Divergence
@@ -16,25 +17,26 @@ module Timeline = Olayout_telemetry.Timeline
 (* The workload-drift observatory driver.
 
    Two passes over one deterministic mix-shift schedule (Schedule.rotation),
-   both direct Server.run executions with the measurement seed:
+   both through Context.measure_raw with the measurement seed (the trace
+   cache keys streams by schedule signature, so scheduled streams share the
+   cache without touching the unscheduled figures' entries):
 
    - pass A profiles the scheduled run into per-window Profile.t slices
      (Windowed) and derives one layout per matrix phase from the merged
-     window profiles, plus the training-profile layout the context already
-     owns;
+     window profiles — incrementally: one full pipeline build on the
+     training profile, then one profile-delta update per phase
+     (Incremental), instead of N full pipelines;
    - pass B re-runs the identical execution once, rendering the same block
      path under every phase layout at once (the render-sink design: the
-     block path never depends on placements), recording each stream.
+     block path never depends on placements), recording each stream.  The
+     training row renders the context's cached placement, so its scheduled
+     stream is recorded on the first run and replayed on later ones.
 
    Each recorded stream is then sliced by its own instruction clock into
    the N phases and every (layout row, phase slice) cell replays cold
    through a one-configuration battery on the context's engine — both
    engines produce byte-identical miss counts, so the olayout-drift/v1
-   document survives the cross-engine CI cmp.
-
-   The driver deliberately bypasses Context.measure: the trace cache is
-   keyed by (combo, kernel, txns) only, and a schedule-shaped stream under
-   that key would poison every other figure's replays. *)
+   document survives the cross-engine CI cmp. *)
 
 let default_window = 65536
 let default_phases = 4
@@ -51,9 +53,6 @@ let run ?(combo = Spike.All) ?(phases = default_phases)
   if window < 1 then invalid_arg "Drift.run: window must be >= 1";
   if top < 1 then invalid_arg "Drift.run: top must be >= 1";
   Telemetry.span "drift" (fun () ->
-      let wl = Context.workload ctx in
-      let app = Workload.app wl and kernel = Workload.kernel wl in
-      let txns = Context.measured_txns ctx in
       let schedule = Schedule.rotation ~slots:phases in
       let train = Context.app_profile ctx in
       (* Pass A: windowed profile capture.  Warmup transactions emit no
@@ -61,8 +60,8 @@ let run ?(combo = Spike.All) ?(phases = default_phases)
          starts at measured position 0. *)
       let wp = Windowed.create ~window (Profile.prog train) in
       let (_ : Server.result) =
-        Server.run ~app ~kernel ~txns ~seed:1009 ~schedule
-          ~app_sinks:[ Windowed.sink wp ] ()
+        Context.measure_raw ctx ~schedule ~app_sinks:[ Windowed.sink wp ]
+          ~renders:[] ()
       in
       let n = Windowed.windows wp in
       let phases = min phases (max 1 n) in
@@ -89,31 +88,33 @@ let run ?(combo = Spike.All) ?(phases = default_phases)
             })
       in
       (* One layout per phase (merged window profiles), plus the context's
-         training-profile layout as the reference row. *)
+         training-profile layout as the reference row.  The phase layouts
+         are built incrementally: one full pipeline build on the training
+         profile, then a profile-delta update per phase (1 full + N deltas
+         instead of N full pipelines; the relayout.* counters book both
+         sides). *)
       let phase_profile =
         Array.init phases (fun j ->
             Windowed.merged wp ~lo:(j * n / phases) ~hi:((j + 1) * n / phases))
       in
-      let layouts =
-        Array.init (phases + 1) (fun i ->
-            if i < phases then Spike.optimize phase_profile.(i) combo
-            else Context.placement ctx combo)
-      in
-      (* Pass B: identical execution, one recorded stream per layout. *)
+      let work0 = Incremental.work_counters () in
+      let memo = Incremental.create (Incremental.Combo combo) train in
+      let layouts = Array.make (phases + 1) (Context.placement ctx combo) in
+      for j = 0 to phases - 1 do
+        layouts.(j) <- Incremental.update memo phase_profile.(j)
+      done;
+      let work = Incremental.work_sub (Incremental.work_counters ()) work0 in
+      (* Pass B: identical execution, one stream per layout.  The train row
+         is the context's cached placement, so it replays from the trace
+         cache when present; phase-layout rows are run-local placements and
+         render live. *)
       let records = Array.init (phases + 1) (fun _ -> Trace.record ()) in
       let renders =
         List.mapi
-          (fun i (emit, _) ->
-            {
-              Server.app_placement = layouts.(i);
-              kernel_placement = Context.kernel_base ctx;
-              emit;
-            })
+          (fun i (emit, _) -> (layouts.(i), emit))
           (Array.to_list records)
       in
-      let (_ : Server.result) =
-        Server.run ~app ~kernel ~txns ~seed:1009 ~schedule ~renders ()
-      in
+      let (_ : Server.result) = Context.measure_raw ctx ~schedule ~renders () in
       (* Staleness matrix: slice each stream by its own instruction clock
          (placements change run lengths, so each row has its own phase
          boundaries) and replay every slice cold through a fresh
@@ -167,6 +168,7 @@ let run ?(combo = Spike.All) ?(phases = default_phases)
             Array.init (phases + 1) (fun i ->
                 if i < phases then Printf.sprintf "p%d" i else "train");
           o_cells = cells;
+          o_work = work;
         }
       in
       Observatory.publish_gauges r;

@@ -169,13 +169,26 @@ let experiments : experiment list =
     {
       e_id = "drift";
       e_desc = "extension: workload drift observatory";
-      (* Own scheduled server runs (mix-shift streams must never enter the
-         shared trace cache) — live, and no cached streams consumed. *)
+      (* Scheduled server runs share the trace cache (keyed by schedule
+         signature), but the first run of a fresh context still walks
+         live — and no unscheduled cached streams are consumed. *)
       e_live = true;
       e_streams = [];
       e_run =
         (fun _ ctx ->
           Drift.tables (Drift.run ctx (Diagnose.preset_of_figure "fig4")));
+    };
+    {
+      e_id = "relayout";
+      e_desc = "extension: closed-loop incremental re-layout";
+      (* Shares the drift experiment's scheduled stream through the trace
+         cache; the capture pass itself is live (app sinks observe the
+         walk). *)
+      e_live = true;
+      e_streams = [];
+      e_run =
+        (fun _ ctx ->
+          Relayout.tables (Relayout.run ctx (Diagnose.preset_of_figure "fig4")));
     };
   ]
 

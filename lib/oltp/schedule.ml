@@ -55,3 +55,17 @@ let assign t ~txns i =
   slot_phase t (i * Array.length t.slots / txns)
 
 let slot_names t = Array.map phase_name t.slots
+
+(* Canonical identity string.  Two schedules with equal signatures assign
+   every measured transaction identically, so the signature is a sound
+   trace-cache key component (Context keys scheduled streams by it). *)
+let signature t =
+  String.concat "+"
+    (Array.to_list
+       (Array.map
+          (function
+            | Tpcb -> "tpcb"
+            | Tpcb_skewed { hot_branch; hot_pct } ->
+                Printf.sprintf "skew%d:%d" hot_branch hot_pct
+            | Scan { rows } -> Printf.sprintf "scan%d" rows)
+          t.slots))

@@ -133,6 +133,8 @@ let merge a b =
     invalid_arg "Profile.merge: different programs";
   map2_profile ( + ) a b
 
+let proc_equal a b pid = a.blocks.(pid) = b.blocks.(pid) && a.arms.(pid) = b.arms.(pid)
+
 let total_block_events t =
   Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 t.blocks
 

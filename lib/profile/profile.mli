@@ -62,6 +62,13 @@ val merge : t -> t -> t
 val total_block_events : t -> int
 (** Sum of all block counts (the number of recorded block executions). *)
 
+val proc_equal : t -> t -> int -> bool
+(** [proc_equal a b pid]: do the two profiles carry identical block and arm
+    counts for procedure [pid]?  The per-procedure identity test behind
+    {!Olayout_core.Delta}'s dirty set — per-procedure layout passes read
+    only that procedure's rows, so row equality implies identical pass
+    output. *)
+
 (** {2 Persistence}
 
     Profiles are saved to a line-oriented text format (like Pixie's .Counts

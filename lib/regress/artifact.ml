@@ -20,6 +20,7 @@ let known_schemas =
     "olayout-timeline/v1";
     "olayout-explain/v1";
     "olayout-drift/v1";
+    "olayout-relayout/v1";
   ]
 
 type t = {

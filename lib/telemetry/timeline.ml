@@ -310,35 +310,15 @@ let events () =
 
 (* --- console sparklines ----------------------------------------------- *)
 
-let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
-                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
-
-let spark_width = 60
-
-(* Resample to at most [spark_width] buckets: Delta buckets sum their
-   windows (total work in the bucket's span), Sample buckets take the max
-   (peaks survive downsampling). *)
+(* Rendering lives in Olayout_util.Console (shared with the drift heatmap
+   and the relayout tables); this wrapper only maps the series kind to the
+   resampling rule: Delta buckets sum their windows (total work in the
+   bucket's span), Sample buckets take the max (peaks survive
+   downsampling). *)
 let spark kind values =
-  let n = Array.length values in
-  if n = 0 then ""
-  else begin
-    let buckets = min n spark_width in
-    let acc = Array.make buckets 0 in
-    for i = 0 to n - 1 do
-      let b = i * buckets / n in
-      match kind with
-      | Delta -> acc.(b) <- acc.(b) + values.(i)
-      | Sample -> acc.(b) <- max acc.(b) values.(i)
-    done;
-    let vmax = Array.fold_left max 0 acc in
-    let buf = Buffer.create (buckets * 3) in
-    Array.iter
-      (fun v ->
-        let level = if vmax <= 0 then 0 else v * (Array.length glyphs - 1) / vmax in
-        Buffer.add_string buf glyphs.(level))
-      acc;
-    Buffer.contents buf
-  end
+  Olayout_util.Console.spark
+    (match kind with Delta -> `Sum | Sample -> `Max)
+    values
 
 let pp_summary ppf () =
   let ds = List.filter (fun d -> Array.length d.d_values > 0) (dump ()) in

@@ -23,6 +23,7 @@ let () =
       Test_timeline.suite;
       Test_explain.suite;
       Test_drift.suite;
+      Test_relayout.suite;
       Test_par.suite;
       Test_regress.suite;
       Test_properties.suite;
